@@ -1,0 +1,48 @@
+// Ablation (paper §7 "Discussion"): two ways the browser overhead could
+// move. (1) Linux 5.16 stopped applying SSBD to seccomp processes — the
+// paper predicted this would drop Firefox's overhead if Mozilla doesn't
+// opt back in. (2) Speculative Load Hardening would make the JIT output
+// fully Spectre-immune "albeit at considerable overhead".
+#include <cstdio>
+
+#include "src/workload/octane.h"
+
+using namespace specbench;
+
+namespace {
+
+double Score(const CpuModel& cpu, const JitConfig& jit, const MitigationConfig& os,
+             uint64_t seed) {
+  return Octane::SuiteScore(Octane::RunSuite(cpu, jit, os, seed));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Octane 2 total slowdown under browser mitigation futures.\n\n");
+  std::printf("%-16s %14s %14s %14s\n", "CPU", "pre-5.16", "post-5.16", "SLH-only");
+  for (Uarch u : AllUarches()) {
+    const CpuModel& cpu = GetCpuModel(u);
+    MitigationConfig none = MitigationConfig::AllOff();
+    const double base = Score(cpu, JitConfig::AllOff(), none, 1);
+
+    // Pre-Linux-5.16: seccomp processes get SSBD implicitly.
+    MitigationConfig pre516 = MitigationConfig::Defaults(cpu);
+    pre516.ssbd = SsbdMode::kSeccomp;
+    const double pre = (base / Score(cpu, JitConfig::AllOn(), pre516, 2) - 1.0) * 100.0;
+
+    // Post-5.16: prctl only; Firefox does not opt in.
+    MitigationConfig post516 = MitigationConfig::Defaults(cpu);
+    post516.ssbd = SsbdMode::kPrctl;
+    const double post = (base / Score(cpu, JitConfig::AllOn(), post516, 3) - 1.0) * 100.0;
+
+    // SLH instead of the targeted JIT mitigations (OS side post-5.16).
+    const double slh = (base / Score(cpu, JitConfig::SlhOnly(), post516, 4) - 1.0) * 100.0;
+
+    std::printf("%-16s %13.1f%% %13.1f%% %13.1f%%\n", UarchName(u), pre, post, slh);
+  }
+  std::printf("\nExpected shape: post-5.16 drops by roughly the SSBD slice (the paper's\n"
+              "§7 prediction); SLH is comprehensive but costs more than the targeted\n"
+              "index-masking + object-guard combination it would replace.\n");
+  return 0;
+}

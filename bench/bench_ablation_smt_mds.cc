@@ -1,0 +1,38 @@
+// Ablation (paper §3.3 / Table 1's "Disable SMT: !" row): verw protects
+// privilege transitions, but an SMT sibling samples fill buffers *while*
+// the victim runs — only disabling hyperthreading closes that channel.
+// Linux nevertheless leaves SMT on by default because halving the core
+// count "was viewed acceptable given the performance difference".
+#include <cstdio>
+
+#include "src/attack/attacks.h"
+
+using namespace specbench;
+
+namespace {
+
+const char* Outcome(const AttackResult& result) { return result.leaked ? "LEAK" : "safe"; }
+
+}  // namespace
+
+int main() {
+  std::printf("MDS across SMT siblings: can the attacker recover the victim's data?\n\n");
+  std::printf("%-16s %-22s %-22s %-22s\n", "CPU", "SMT on + verw", "SMT off + verw",
+              "SMT off, no verw");
+  for (Uarch u : AllUarches()) {
+    const CpuModel& cpu = GetCpuModel(u);
+    MdsSmtOptions smt_on{true, true};
+    MdsSmtOptions smt_off{false, true};
+    MdsSmtOptions smt_off_noverw{false, false};
+    std::printf("%-16s %-22s %-22s %-22s\n", UarchName(u),
+                Outcome(RunMdsSmtAttack(cpu, smt_on)),
+                Outcome(RunMdsSmtAttack(cpu, smt_off)),
+                Outcome(RunMdsSmtAttack(cpu, smt_off_noverw)));
+  }
+  std::printf(
+      "\nExpected shape: on MDS-vulnerable parts (Broadwell, Skylake, Cascade\n"
+      "Lake) the sibling leaks even though verw runs on every transition —\n"
+      "the paper's reason Table 1 lists 'Disable SMT' as required-but-not-\n"
+      "default. Fixed parts are safe in every column.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation (paper §5.3 / §6.2.1): what each Spectre V2 strategy would cost
+// on the OS boundary — why Linux rejected legacy IBRS ("viewed as
+// unacceptably high"), settled on retpolines for old parts, and switched to
+// eIBRS where silicon provides it.
+#include <cstdio>
+
+#include "src/workload/lebench.h"
+
+using namespace specbench;
+
+namespace {
+
+double Geomean(const CpuModel& cpu, const MitigationConfig& config, uint64_t seed) {
+  return LeBench::SuiteGeomean(LeBench::RunSuite(cpu, config, seed));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("LEBench overhead of each Spectre V2 strategy (vs no V2 mitigation),\n"
+              "with all other mitigations at their per-CPU defaults.\n\n");
+  std::printf("%-16s %12s %12s %12s %12s\n", "CPU", "generic", "amd-lfence", "legacy IBRS",
+              "eIBRS");
+  for (Uarch u : AllUarches()) {
+    const CpuModel& cpu = GetCpuModel(u);
+    MitigationConfig base = MitigationConfig::Defaults(cpu);
+    base.retpoline = RetpolineMode::kNone;
+    base.ibrs = IbrsMode::kOff;
+    const double none = Geomean(cpu, base, 1);
+
+    auto overhead = [&](RetpolineMode retpoline, IbrsMode ibrs) {
+      MitigationConfig c = base;
+      c.retpoline = retpoline;
+      c.ibrs = ibrs;
+      return (Geomean(cpu, c, 2) / none - 1.0) * 100.0;
+    };
+
+    std::printf("%-16s %11.1f%% %12s %12s %12s\n", UarchName(u),
+                overhead(RetpolineMode::kGeneric, IbrsMode::kOff),
+                cpu.vendor == Vendor::kAmd
+                    ? (std::to_string(overhead(RetpolineMode::kAmd, IbrsMode::kOff))
+                           .substr(0, 4) +
+                       "%")
+                          .c_str()
+                    : "n/a",
+                cpu.predictor.ibrs_supported && !cpu.predictor.eibrs
+                    ? (std::to_string(overhead(RetpolineMode::kNone, IbrsMode::kLegacyIbrs))
+                           .substr(0, 4) +
+                       "%")
+                          .c_str()
+                    : "n/a",
+                cpu.predictor.eibrs
+                    ? (std::to_string(overhead(RetpolineMode::kNone, IbrsMode::kEibrs))
+                           .substr(0, 4) +
+                       "%")
+                          .c_str()
+                    : "n/a");
+  }
+  std::printf("\nExpected shape: legacy IBRS costs the most on pre-Spectre parts (an MSR\n"
+              "write on every entry *and* no indirect prediction anywhere); retpolines\n"
+              "are the cheaper software answer; eIBRS is nearly free where it exists.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates the paper's Figure 5: slowdown from force-enabling SSBD on
+// the PARSEC kernels, per CPU.
+#include <cstdio>
+
+#include "src/core/experiments.h"
+
+int main() {
+  const auto rows = specbench::RunFigure5Ssbd();
+  std::printf("%s\n", specbench::RenderFigure5(rows).c_str());
+  return 0;
+}

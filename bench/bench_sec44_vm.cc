@@ -1,0 +1,16 @@
+// Regenerates §4.4: virtual machine workloads (LEBench-like guest and the
+// LFS smallfile/largefile microbenchmarks against the emulated disk) with
+// host mitigations on vs off.
+#include <cstdio>
+
+#include "src/core/experiments.h"
+
+int main() {
+  specbench::SamplerOptions options;
+  options.min_samples = 5;
+  options.max_samples = 16;
+  options.target_relative_ci = 0.012;
+  const auto results = specbench::RunSection44Vm(options);
+  std::printf("%s\n", specbench::RenderSection44(results).c_str());
+  return 0;
+}

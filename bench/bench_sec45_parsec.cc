@@ -1,0 +1,15 @@
+// Regenerates §4.5: PARSEC kernels under the default mitigation set —
+// boundary-free compute should be essentially unaffected.
+#include <cstdio>
+
+#include "src/core/experiments.h"
+
+int main() {
+  specbench::SamplerOptions options;
+  options.min_samples = 5;
+  options.max_samples = 16;
+  options.target_relative_ci = 0.005;
+  const auto results = specbench::RunSection45Parsec(options);
+  std::printf("%s\n", specbench::RenderSection45(results).c_str());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates the §6.2.2 observation: with eIBRS enabled, kernel entries
+// are bimodal — every Nth entry pays ~210 extra cycles of predictor scrub.
+#include <cstdio>
+
+#include "src/core/experiments.h"
+
+int main() {
+  std::printf("%s\n", specbench::RenderEibrsBimodal().c_str());
+  return 0;
+}

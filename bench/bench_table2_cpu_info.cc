@@ -1,0 +1,9 @@
+// Regenerates the paper's Table 2: the modelled CPU inventory.
+#include <cstdio>
+
+#include "src/core/experiments.h"
+
+int main() {
+  std::printf("%s\n", specbench::RenderTable2CpuInfo().c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates the paper's Table 3: syscall / sysret / PTI cr3-swap cycles.
+// Runs the per-CPU microbenchmark under google-benchmark, then prints the
+// paper-vs-measured comparison table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/experiments.h"
+#include "src/core/microbench.h"
+
+namespace {
+
+void BM_EntryExit(benchmark::State& state) {
+  const specbench::CpuModel& cpu =
+      specbench::GetCpuModel(static_cast<specbench::Uarch>(state.range(0)));
+  state.SetLabel(specbench::UarchName(cpu.uarch));
+  
+  specbench::EntryExitCosts costs{};
+  for (auto _ : state) {
+    costs = specbench::MeasureEntryExit(cpu);
+    benchmark::DoNotOptimize(costs);
+  }
+  state.counters["syscall_cyc"] = costs.syscall;
+  state.counters["sysret_cyc"] = costs.sysret;
+  state.counters["swap_cr3_cyc"] = cpu.vuln.meltdown ? costs.swap_cr3 : 0;
+}
+BENCHMARK(BM_EntryExit)->DenseRange(0, 7)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n%s\n", specbench::RenderTable3EntryExit().c_str());
+  return 0;
+}

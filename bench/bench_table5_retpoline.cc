@@ -1,0 +1,38 @@
+// Regenerates the paper's Table 5: indirect branch cost under each Spectre V2 regime.
+// Runs the per-CPU microbenchmark under google-benchmark, then prints the
+// paper-vs-measured comparison table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/experiments.h"
+#include "src/core/microbench.h"
+
+namespace {
+
+void BM_IndirectBranch(benchmark::State& state) {
+  const specbench::CpuModel& cpu =
+      specbench::GetCpuModel(static_cast<specbench::Uarch>(state.range(0)));
+  state.SetLabel(specbench::UarchName(cpu.uarch));
+  
+  specbench::IndirectBranchCosts costs{};
+  for (auto _ : state) {
+    costs = specbench::MeasureIndirectBranch(cpu);
+    benchmark::DoNotOptimize(costs);
+  }
+  state.counters["baseline_cyc"] = costs.baseline;
+  state.counters["ibrs_cyc"] = costs.ibrs;
+  state.counters["generic_retpoline_cyc"] = costs.generic_retpoline;
+  state.counters["amd_retpoline_cyc"] = costs.amd_retpoline;
+}
+BENCHMARK(BM_IndirectBranch)->DenseRange(0, 7)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n%s\n", specbench::RenderTable5IndirectBranch().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Regenerates the paper's Table 8: lfence cycles.
+// Runs the per-CPU microbenchmark under google-benchmark, then prints the
+// paper-vs-measured comparison table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/experiments.h"
+#include "src/core/microbench.h"
+
+namespace {
+
+void BM_Lfence(benchmark::State& state) {
+  const specbench::CpuModel& cpu =
+      specbench::GetCpuModel(static_cast<specbench::Uarch>(state.range(0)));
+  state.SetLabel(specbench::UarchName(cpu.uarch));
+  
+  double cycles = 0;
+  for (auto _ : state) {
+    cycles = specbench::MeasureLfence(cpu);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["lfence_cyc"] = cycles;
+}
+BENCHMARK(BM_Lfence)->DenseRange(0, 7)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n%s\n", specbench::RenderTable8Lfence().c_str());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates the paper's Tables 9 and 10 with the §6.1 divider-counter
+// speculation probe (Figure 6), plus the Zen 3 same-call-site control.
+#include <cstdio>
+
+#include "src/core/experiments.h"
+
+int main() {
+  std::printf("%s\n", specbench::RenderTables9And10().c_str());
+  return 0;
+}

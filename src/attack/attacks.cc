@@ -1,0 +1,634 @@
+#include "src/attack/attacks.h"
+
+#include "src/attack/side_channel.h"
+#include "src/isa/program.h"
+#include "src/uarch/machine.h"
+#include "src/util/check.h"
+
+namespace specbench {
+
+namespace {
+
+// Shared layout for the attack programs.
+constexpr uint64_t kProbeBase = 0x40000000;   // flush+reload probe array
+constexpr uint64_t kCandidates = 16;          // 4-bit secrets
+constexpr uint64_t kGuardAddr = 0x41000000;   // flushed branch guard
+constexpr uint64_t kArrayBase = 0x42000000;   // V1 victim array
+constexpr uint64_t kArrayLen = 16;
+constexpr uint64_t kSecretSlot = 0x43000000;  // where the secret value lives
+constexpr uint64_t kPtrSlot = 0x44000000;     // V2 function pointer
+constexpr uint64_t kStackTop = 0x48000000;
+
+// Emits "r(dst) = probe[r(value_reg) * 4096]" — the cache-encoding load.
+void EmitEncode(ProgramBuilder& b, uint8_t value_reg, uint8_t scratch, uint8_t dst) {
+  b.AluImm(AluOp::kShl, scratch, value_reg, 12);
+  b.MovImm(dst, static_cast<int64_t>(kProbeBase));
+  b.Load(dst, MemRef{.base = dst, .index = scratch, .scale = 1});
+}
+
+// Emits a mispredicted-branch shield: a branch on a flushed guard variable,
+// trained taken, actually not taken, so the body only ever runs transiently.
+// Returns the branch's instruction index (for predictor training).
+int32_t EmitFlushedGuard(ProgramBuilder& b, Label* spec, Label* done) {
+  *spec = b.NewLabel();
+  *done = b.NewLabel();
+  b.MovImm(1, static_cast<int64_t>(kGuardAddr));
+  b.Load(2, MemRef{.base = 1});
+  const int32_t branch_index = b.NextIndex();
+  b.BranchNz(2, *spec);
+  b.Jmp(*done);
+  b.Bind(*spec);
+  return branch_index;
+}
+
+void TrainGuard(Machine& m, const Program& p, int32_t branch_index) {
+  SPECBENCH_CHECK(p.at(branch_index).op == Op::kBranchNz);
+  m.PokeData(kGuardAddr, 0);
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  m.caches().Clflush(kGuardAddr);
+}
+
+AttackResult Finish(Machine& m, uint64_t secret) {
+  CacheTimingChannel channel(kProbeBase, kCandidates);
+  AttackResult result;
+  result.expected = secret;
+  result.recovered = channel.Recover(m);
+  result.leaked = result.recovered == static_cast<int>(secret);
+  return result;
+}
+
+}  // namespace
+
+AttackResult RunSpectreV1Attack(const CpuModel& cpu, bool index_masking, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  ProgramBuilder b;
+  // Victim: if (index < len) { x = array[index]; encode(x); }
+  Label in_bounds = b.NewLabel();
+  Label done = b.NewLabel();
+  b.MovImm(1, static_cast<int64_t>(kGuardAddr));  // guard doubles as length
+  b.Load(2, MemRef{.base = 1});
+  b.Alu(AluOp::kCmpLt, 3, 0, 2);
+  const int32_t branch_index = b.NextIndex();
+  b.BranchNz(3, in_bounds);
+  b.Jmp(done);
+  b.Bind(in_bounds);
+  uint8_t idx = 0;
+  if (index_masking) {
+    b.Mov(4, 0);
+    b.Alu(AluOp::kCmpGe, 5, 0, 2);
+    b.MovImm(6, 0);
+    b.Cmov(4, 6, 5);
+    idx = 4;
+  }
+  b.MovImm(7, static_cast<int64_t>(kArrayBase));
+  b.Load(8, MemRef{.base = 7, .index = idx, .scale = 8});
+  EmitEncode(b, 8, 9, 11);
+  b.Bind(done);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+
+  for (uint64_t i = 0; i < kArrayLen; i++) {
+    m.PokeData(kArrayBase + 8 * i, i % kCandidates);
+  }
+  m.PokeData(kGuardAddr, kArrayLen);
+  const uint64_t oob_index = (kSecretSlot - kArrayBase) / 8;
+  m.PokeData(kSecretSlot, secret);
+
+  // Train the bounds check with in-bounds accesses.
+  for (int i = 0; i < 6; i++) {
+    m.SetReg(0, static_cast<uint64_t>(i) % kArrayLen);
+    m.Run(p.VaddrOf(0));
+  }
+  SPECBENCH_CHECK(p.at(branch_index).op == Op::kBranchNz);
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.caches().Clflush(kGuardAddr);
+  m.SetReg(0, oob_index);
+  m.Run(p.VaddrOf(0));
+  return Finish(m, secret);
+}
+
+AttackResult RunSpectreV2Attack(const CpuModel& cpu, const SpectreV2Options& options,
+                                uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  if (options.ibrs && !cpu.predictor.ibrs_supported) {
+    AttackResult result;
+    result.attempted = false;
+    return result;
+  }
+  Machine m(cpu);
+  ProgramBuilder b;
+
+  Label victim_label = b.NewLabel();
+  Label retpoline = b.NewLabel();
+  Label rp_setup = b.NewLabel();
+  Label rp_spin = b.NewLabel();
+
+  // Gadget the attacker wants executed transiently: read and encode secret.
+  b.BindSymbol("gadget");
+  b.MovImm(5, static_cast<int64_t>(kSecretSlot));
+  b.Load(6, MemRef{.base = 5});
+  EmitEncode(b, 6, 7, 8);
+  b.Ret();
+
+  b.BindSymbol("benign");
+  b.Ret();
+
+  // The victim function: loads a function pointer and calls through it,
+  // protected (or not) by a generic retpoline.
+  b.BindSymbol("victim_fn");
+  b.Bind(victim_label);
+  b.MovImm(2, static_cast<int64_t>(kPtrSlot));
+  b.Clflush(MemRef{.base = 2});  // target resolves slowly: wide window
+  b.Load(11, MemRef{.base = 2});
+  if (options.generic_retpoline) {
+    b.Call(retpoline);
+  } else {
+    b.IndirectCall(11);
+  }
+  b.Ret();
+
+  b.Bind(retpoline);  // unreachable when the retpoline option is off
+  b.Call(rp_setup);
+  b.Bind(rp_spin);
+  b.Pause();
+  b.Lfence();
+  b.Jmp(rp_spin);
+  b.Bind(rp_setup);
+  b.Store(MemRef{.base = kRegSp}, 11);
+  b.Ret();
+
+  // Attacker: repeatedly call the victim function with the pointer aimed at
+  // the gadget, training the BTB entry of the indirect call inside it.
+  b.BindSymbol("attacker_entry");
+  Label train_loop = b.NewLabel();
+  b.MovImm(3, 6);
+  b.Bind(train_loop);
+  b.Call(victim_label);
+  b.AluImm(AluOp::kSub, 3, 3, 1);
+  b.BranchNz(3, train_loop);
+  b.Halt();
+
+  // Victim run: a single call with the pointer now pointing at benign code.
+  b.BindSymbol("victim_entry");
+  b.Call(victim_label);
+  b.Halt();
+
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.SetReg(kRegSp, kStackTop);
+  m.SetIbrs(options.ibrs);
+  m.PokeData(kSecretSlot, secret);
+
+  // Train (the gadget also runs architecturally here; the channel is
+  // flushed before the victim run, as a real attacker would).
+  m.PokeData(kPtrSlot, p.SymbolVaddr("gadget"));
+  m.Run(p.SymbolVaddr("attacker_entry"));
+
+  if (options.ibpb_before_victim) {
+    m.btb().FlushAll();  // the kernel's IBPB on the attacker->victim switch
+  }
+  m.PokeData(kPtrSlot, p.SymbolVaddr("benign"));
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.SymbolVaddr("victim_entry"));
+  return Finish(m, secret);
+}
+
+AttackResult RunSpectreRsbAttack(const CpuModel& cpu, bool rsb_stuffing, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  ProgramBuilder b;
+
+  b.BindSymbol("gadget");
+  b.MovImm(5, static_cast<int64_t>(kSecretSlot));
+  b.Load(6, MemRef{.base = 5});
+  EmitEncode(b, 6, 7, 8);
+  b.Ret();
+
+  // The victim ret whose RSB entry was lost across a context switch. Its
+  // return-address stack line is flushed so the ret resolves slowly.
+  b.BindSymbol("victim_ret");
+  b.Ret();
+
+  b.BindSymbol("after_call");
+  b.Halt();
+
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.PokeData(kSecretSlot, secret);
+
+  // Attacker trained the BTB at the victim ret's pc: SpectreRSB exploits
+  // the BTB fallback on RSB underflow.
+  m.btb().Train(p.SymbolVaddr("victim_ret"), p.SymbolVaddr("gadget"), Mode::kUser,
+                m.caller_context());
+
+  // Architectural state as if the victim were mid-function when the context
+  // switch destroyed its RSB: the stack holds the true return address.
+  m.PokeData(kStackTop - 8, p.SymbolVaddr("after_call"));
+  m.SetReg(kRegSp, kStackTop - 8);
+  m.caches().Clflush(kStackTop - 8);
+  if (rsb_stuffing) {
+    m.rsb().Stuff(0);  // the kernel mitigation: benign entries, no underflow
+  } else {
+    m.rsb().Clear();   // bare underflow: ret predicts via the poisoned BTB
+  }
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.SymbolVaddr("victim_ret"));
+  return Finish(m, secret);
+}
+
+AttackResult RunMeltdownAttack(const CpuModel& cpu, bool pti, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+
+  // Address space: everything user-accessible except the kernel page, which
+  // is supervisor-only without PTI and entirely unmapped with PTI.
+  class MeltdownMap : public MemoryMap {
+   public:
+    explicit MeltdownMap(bool pti) : pti_(pti) {}
+    Translation Translate(uint64_t vaddr, uint64_t, Mode mode) const override {
+      Translation t;
+      const bool kernel_page = vaddr >= kSecretSlot && vaddr < kSecretSlot + kPageBytes;
+      if (kernel_page && pti_) {
+        return t;  // unmapped in the user view
+      }
+      t.mapped = true;
+      t.present = true;
+      t.paddr = vaddr;
+      t.user_accessible = !kernel_page;
+      const bool user = mode == Mode::kUser || mode == Mode::kGuestUser;
+      t.valid = t.user_accessible || !user;
+      return t;
+    }
+    bool pti_;
+  };
+  static MeltdownMap no_pti_map(false);
+  static MeltdownMap pti_map(true);
+  m.SetMemoryMap(pti ? static_cast<const MemoryMap*>(&pti_map) : &no_pti_map);
+
+  ProgramBuilder b;
+  Label spec;
+  Label done;
+  const int32_t branch_index = EmitFlushedGuard(b, &spec, &done);
+  b.MovImm(3, static_cast<int64_t>(kSecretSlot));
+  b.Load(4, MemRef{.base = 3});  // the Meltdown read
+  EmitEncode(b, 4, 5, 6);
+  b.Bind(done);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.SetMode(Mode::kUser);
+  if (!pti) {
+    m.PokeData(kSecretSlot, secret);  // via kernel-privileged PokeData
+  } else {
+    // With PTI the page is not in this address space at all; the secret
+    // lives only in the kernel's (not simulated here).
+    m.physical_memory().Write(kSecretSlot, secret);
+  }
+  TrainGuard(m, p, branch_index);
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.VaddrOf(0));
+  return Finish(m, secret);
+}
+
+AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  class MdsMap : public MemoryMap {
+   public:
+    Translation Translate(uint64_t vaddr, uint64_t, Mode) const override {
+      Translation t;
+      if (vaddr >= 0x50000000 && vaddr < 0x50000000 + kPageBytes) {
+        return t;  // the attacker's unmapped sampling address
+      }
+      t.mapped = true;
+      t.present = true;
+      t.user_accessible = true;
+      t.paddr = vaddr;
+      t.valid = true;
+      return t;
+    }
+  };
+  static MdsMap map;
+  m.SetMemoryMap(&map);
+
+  ProgramBuilder b;
+  // Victim: load the secret (fills a line-fill buffer).
+  b.MovImm(12, static_cast<int64_t>(kSecretSlot));
+  b.Load(13, MemRef{.base = 12});
+  b.Lfence();
+  if (verw_clear) {
+    b.Verw();
+  }
+  // Attacker: division-delayed mispredicted branch; wrong path samples the
+  // fill buffers through a faulting load.
+  Label spec = b.NewLabel();
+  Label done = b.NewLabel();
+  b.MovImm(1, 7);
+  b.DivImm(2, 1, 9);
+  const int32_t branch_index = b.NextIndex();
+  b.BranchNz(2, spec);
+  b.Jmp(done);
+  b.Bind(spec);
+  b.MovImm(3, 0x50000000);
+  b.Load(4, MemRef{.base = 3});
+  EmitEncode(b, 4, 5, 6);
+  b.Bind(done);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.PokeData(kSecretSlot, secret);
+  m.caches().Clflush(kSecretSlot);  // so the victim load refills the LFB
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.VaddrOf(0));
+  return Finish(m, secret);
+}
+
+AttackResult RunSpectreV2SmtAttack(const CpuModel& cpu, bool stibp, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  m.SetStibp(stibp);
+  ProgramBuilder b;
+
+  Label victim_call_site = b.NewLabel();
+
+  // The gadget the attacker wants the victim to run transiently.
+  b.BindSymbol("gadget");
+  b.MovImm(5, static_cast<int64_t>(kSecretSlot));
+  b.Load(6, MemRef{.base = 5});
+  EmitEncode(b, 6, 7, 8);
+  b.Ret();
+
+  b.BindSymbol("benign");
+  b.Ret();
+
+  // Shared code both hyperthreads execute: the victim's indirect call.
+  b.BindSymbol("do_call");
+  b.Bind(victim_call_site);
+  b.MovImm(2, static_cast<int64_t>(kPtrSlot));
+  b.Clflush(MemRef{.base = 2});
+  b.Load(3, MemRef{.base = 2});
+  b.IndirectCall(3);
+  b.Ret();
+
+  // Attacker thread: call through the pointer (aimed at the gadget).
+  b.BindSymbol("attacker");
+  b.Call(victim_call_site);
+  b.Halt();
+
+  // Victim thread: the same call with the pointer aimed at benign code.
+  b.BindSymbol("victim");
+  b.Call(victim_call_site);
+  b.Halt();
+
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.PokeData(kSecretSlot, secret);
+
+  // Attacker hyperthread (id 1) trains; note its architectural gadget runs
+  // also encode the secret, so the channel is flushed before the victim.
+  m.SetSmtThreadId(1);
+  m.SetReg(kRegSp, kStackTop);
+  m.PokeData(kPtrSlot, p.SymbolVaddr("gadget"));
+  for (int i = 0; i < 4; i++) {
+    m.Run(p.SymbolVaddr("attacker"));
+  }
+
+  // Victim hyperthread (id 2) runs with the pointer flipped to benign.
+  m.SetSmtThreadId(2);
+  m.SetReg(kRegSp, kStackTop - 4096);
+  m.PokeData(kPtrSlot, p.SymbolVaddr("benign"));
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.SymbolVaddr("victim"));
+  return Finish(m, secret);
+}
+
+AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
+                             uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  class SmtMap : public MemoryMap {
+   public:
+    Translation Translate(uint64_t vaddr, uint64_t, Mode) const override {
+      Translation t;
+      if (vaddr >= 0x50000000 && vaddr < 0x50000000 + kPageBytes) {
+        return t;  // the attacker's unmapped sampling window
+      }
+      t.mapped = true;
+      t.present = true;
+      t.user_accessible = true;
+      t.paddr = vaddr;
+      t.valid = true;
+      return t;
+    }
+  };
+  static SmtMap map;
+  m.SetMemoryMap(&map);
+
+  // One program, two threads. The victim repeatedly pulls its secret line
+  // through the fill buffers; the attacker runs the one-shot sampling gadget.
+  ProgramBuilder b;
+  b.BindSymbol("victim");
+  Label vloop = b.NewLabel();
+  b.MovImm(0, 24);  // iterations
+  b.MovImm(1, static_cast<int64_t>(kSecretSlot));
+  b.Bind(vloop);
+  b.Load(2, MemRef{.base = 1});
+  b.Clflush(MemRef{.base = 1});  // so the next access refills the LFB
+  b.AluImm(AluOp::kSub, 0, 0, 1);
+  b.BranchNz(0, vloop);
+  b.Halt();
+
+  b.BindSymbol("attacker");
+  Label spec = b.NewLabel();
+  Label done = b.NewLabel();
+  b.MovImm(3, 7);
+  b.DivImm(4, 3, 9);  // slow zero: the misprediction window
+  const int32_t branch_index = b.NextIndex();
+  b.BranchNz(4, spec);
+  b.Jmp(done);
+  b.Bind(spec);
+  b.MovImm(5, 0x50000000);
+  b.Load(6, MemRef{.base = 5});  // faulting load -> fill-buffer sample
+  EmitEncode(b, 6, 7, 8);
+  b.Bind(done);
+  b.Halt();
+
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.PokeData(kSecretSlot, secret);
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+
+  auto run_attacker_once = [&] {
+    m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+    m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+    m.Run(p.SymbolVaddr("attacker"));
+  };
+
+  if (options.smt_enabled) {
+    // SMT siblings: interleave victim chunks with attacker samples on the
+    // same core-shared fill buffers. No privilege transition in between.
+    Machine::RunResult victim_state = m.RunPartial(p.SymbolVaddr("victim"), 12);
+    while (!victim_state.halted) {
+      const Machine::ThreadContext victim_ctx = m.SaveContext();
+      run_attacker_once();
+      m.RestoreContext(victim_ctx);
+      victim_state = m.RunPartial(victim_ctx.resume_rip, 12);
+    }
+  } else {
+    // SMT off: the attacker only gets the core after the victim's time
+    // slice ends — a context switch, which runs verw when configured.
+    m.Run(p.SymbolVaddr("victim"));
+    if (options.verw_on_switch && cpu.vuln.mds) {
+      m.fill_buffers().Clear();
+      m.DrainStoreBuffer();
+    }
+    for (int i = 0; i < 4; i++) {
+      run_attacker_once();
+    }
+  }
+  return Finish(m, secret);
+}
+
+AttackResult RunSsbAttack(const CpuModel& cpu, bool ssbd, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  m.SetSsbd(ssbd);
+  constexpr uint64_t kSlot = 0x51000000;
+  ProgramBuilder b;
+  Label spec = b.NewLabel();
+  Label done = b.NewLabel();
+  // Warm TLB/caches for the slot and guard.
+  b.MovImm(1, static_cast<int64_t>(kSlot));
+  b.MovImm(3, static_cast<int64_t>(kGuardAddr));
+  b.Load(9, MemRef{.base = 1});
+  b.Load(9, MemRef{.base = 3});
+  b.Lfence();
+  b.Clflush(MemRef{.base = 3});
+  b.Load(4, MemRef{.base = 3});    // slow guard
+  b.MovImm(2, 0);                  // overwrite value (not the secret)
+  b.Store(MemRef{.base = 1}, 2);   // store still unresolved at the branch
+  const int32_t branch_index = b.NextIndex();
+  b.BranchNz(4, spec);
+  b.Jmp(done);
+  b.Bind(spec);
+  b.Load(5, MemRef{.base = 1});    // bypasses the store: reads the secret
+  EmitEncode(b, 5, 6, 7);
+  b.Bind(done);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.PokeData(kSlot, secret);       // the "old" value the bypass exposes
+  m.PokeData(kGuardAddr, 0);
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.VaddrOf(0));
+  return Finish(m, secret);
+}
+
+AttackResult RunLazyFpAttack(const CpuModel& cpu, bool eager_fpu, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  // The previous process left `secret` in fp0. With eager FPU the switch
+  // already replaced it with the new process's (zero) state.
+  if (eager_fpu) {
+    m.SetFpReg(0, 0);
+    m.SetFpuEnabled(true);
+  } else {
+    m.SetFpReg(0, secret);
+    m.SetFpuEnabled(false);
+    m.SetFpTrapHook([](Machine& machine) {
+      // The lazy-switch trap handler would swap in the current process's
+      // state; the transient window exists only before the trap commits.
+      machine.SetFpReg(0, 0);
+      machine.SetFpuEnabled(true);
+    });
+  }
+  ProgramBuilder b;
+  Label spec;
+  Label done;
+  const int32_t branch_index = EmitFlushedGuard(b, &spec, &done);
+  b.FpToGp(4, 0);  // transient read of the stale register
+  EmitEncode(b, 4, 5, 6);
+  b.Bind(done);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  TrainGuard(m, p, branch_index);
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.VaddrOf(0));
+  AttackResult result = Finish(m, secret);
+  if (eager_fpu && result.recovered == 0) {
+    // Encoding a zero is indistinguishable from "leaked the cleared reg";
+    // either way the secret did not leak.
+    result.leaked = false;
+  }
+  return result;
+}
+
+AttackResult RunL1tfAttack(const CpuModel& cpu, bool pte_inversion, uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  Machine m(cpu);
+  // The victim's secret lives at physical address kSecretSlot and is mapped
+  // (kernel-only) at the same virtual address. The attacker controls a
+  // non-present PTE at kEvilVaddr whose physical address still points at the
+  // secret — unless PTE inversion scrambled it.
+  constexpr uint64_t kEvilVaddr = 0x52000000;
+  class L1tfMap : public MemoryMap {
+   public:
+    explicit L1tfMap(bool inverted) : inverted_(inverted) {}
+    Translation Translate(uint64_t vaddr, uint64_t, Mode mode) const override {
+      Translation t;
+      if (vaddr >= kEvilVaddr && vaddr < kEvilVaddr + kPageBytes) {
+        t.mapped = true;
+        t.present = false;
+        // PTE inversion points the stale paddr at unpopulated memory.
+        t.paddr = inverted_ ? 0xdead0000000ULL + (vaddr - kEvilVaddr)
+                            : kSecretSlot + (vaddr - kEvilVaddr);
+        t.user_accessible = true;
+        t.valid = false;
+        return t;
+      }
+      t.mapped = true;
+      t.present = true;
+      t.paddr = vaddr;
+      const bool kernel_page = vaddr >= kSecretSlot && vaddr < kSecretSlot + kPageBytes;
+      t.user_accessible = !kernel_page;
+      const bool user = mode == Mode::kUser || mode == Mode::kGuestUser;
+      t.valid = t.present && (!user || t.user_accessible);
+      return t;
+    }
+    bool inverted_;
+  };
+  static L1tfMap plain_map(false);
+  static L1tfMap inverted_map(true);
+  m.SetMemoryMap(pte_inversion ? static_cast<const MemoryMap*>(&inverted_map) : &plain_map);
+
+  // Victim step: kernel touches the secret, leaving it in the L1.
+  m.PokeData(kSecretSlot, secret);
+  m.caches().Access(kSecretSlot);
+
+  ProgramBuilder b;
+  Label spec;
+  Label done;
+  const int32_t branch_index = EmitFlushedGuard(b, &spec, &done);
+  b.MovImm(3, static_cast<int64_t>(kEvilVaddr));
+  b.Load(4, MemRef{.base = 3});  // through the non-present PTE
+  EmitEncode(b, 4, 5, 6);
+  b.Bind(done);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.SetMode(Mode::kUser);
+  TrainGuard(m, p, branch_index);
+  CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
+  m.Run(p.VaddrOf(0));
+  return Finish(m, secret);
+}
+
+}  // namespace specbench

@@ -1,0 +1,175 @@
+#include "src/core/attribution.h"
+
+#include "src/util/check.h"
+
+namespace specbench {
+
+namespace {
+
+// Measures one configuration with the adaptive sampler; the seed changes per
+// sample so the simulated run-to-run noise drives the CI.
+Estimate MeasureConfig(const OsMeasureFn& measure, const MitigationConfig& config,
+                       uint64_t seed_base, const SamplerOptions& options) {
+  uint64_t seed = seed_base;
+  const SampleResult result =
+      SampleUntilConverged([&] { return measure(config, seed++); }, options);
+  return result.estimate;
+}
+
+// Overhead of `slow` relative to `fast`, respecting metric direction.
+Estimate OverheadPct(const Estimate& with_mitigation, const Estimate& without,
+                     bool lower_is_better) {
+  if (lower_is_better) {
+    return RelativeOverheadPercent(with_mitigation, without);
+  }
+  // Higher-is-better score: overhead = (score_off / score_on - 1) * 100.
+  return RelativeOverheadPercent(without, with_mitigation);
+}
+
+}  // namespace
+
+const std::vector<MitigationKnob>& OsMitigationKnobs() {
+  static const std::vector<MitigationKnob> kKnobs = {
+      {"pti", "Page Table Isolation",
+       [](const CpuModel& cpu, const MitigationConfig& c) {
+         (void)cpu;
+         return c.pti;
+       },
+       [](MitigationConfig* c) { c->pti = false; }},
+      {"mds", "MDS buffer clearing",
+       [](const CpuModel& cpu, const MitigationConfig& c) {
+         return c.mds_clear_buffers && cpu.vuln.mds;
+       },
+       [](MitigationConfig* c) { c->mds_clear_buffers = false; }},
+      {"spectre_v2", "Spectre V2 (retpoline/IBRS + IBPB + RSB)",
+       [](const CpuModel& cpu, const MitigationConfig& c) {
+         (void)cpu;
+         return c.retpoline != RetpolineMode::kNone || c.ibrs != IbrsMode::kOff ||
+                c.ibpb_on_context_switch || c.rsb_stuff_on_context_switch;
+       },
+       [](MitigationConfig* c) {
+         c->retpoline = RetpolineMode::kNone;
+         c->ibrs = IbrsMode::kOff;
+         c->ibpb_on_context_switch = false;
+         c->rsb_stuff_on_context_switch = false;
+       }},
+      {"spectre_v1", "Spectre V1 (lfence + masking)",
+       [](const CpuModel& cpu, const MitigationConfig& c) {
+         (void)cpu;
+         return c.lfence_after_swapgs || c.kernel_index_masking;
+       },
+       [](MitigationConfig* c) {
+         c->lfence_after_swapgs = false;
+         c->kernel_index_masking = false;
+       }},
+      {"other", "Other mitigations",
+       [](const CpuModel& cpu, const MitigationConfig& c) {
+         return c.l1tf_pte_inversion || c.ssbd != SsbdMode::kOff ||
+                (cpu.vuln.l1tf && c.l1d_flush_on_vmentry);
+       },
+       [](MitigationConfig* c) {
+         c->l1tf_pte_inversion = false;
+         c->l1d_flush_on_vmentry = false;
+         c->ssbd = SsbdMode::kOff;
+       }},
+  };
+  return kKnobs;
+}
+
+double AttributionReport::SegmentSum() const {
+  double sum = 0.0;
+  for (const AttributionSegment& segment : segments) {
+    sum += segment.overhead_pct.value;
+  }
+  return sum;
+}
+
+AttributionReport AttributeOsMitigations(const CpuModel& cpu, const std::string& workload,
+                                         const OsMeasureFn& measure, bool lower_is_better,
+                                         const SamplerOptions& options) {
+  AttributionReport report;
+  report.cpu = UarchName(cpu.uarch);
+  report.workload = workload;
+
+  MitigationConfig config = MitigationConfig::Defaults(cpu);
+  Estimate current = MeasureConfig(measure, config, /*seed_base=*/1000, options);
+  const Estimate with_all = current;
+
+  uint64_t seed_base = 2000;
+  for (const MitigationKnob& knob : OsMitigationKnobs()) {
+    if (!knob.relevant(cpu, config)) {
+      continue;
+    }
+    MitigationConfig next = config;
+    knob.disable(&next);
+    const Estimate without = MeasureConfig(measure, next, seed_base, options);
+    seed_base += 1000;
+    // This knob's contribution: overhead of keeping it on, relative to the
+    // configuration with it (and everything later) still enabled.
+    const Estimate delta = OverheadPct(current, without, lower_is_better);
+    report.segments.push_back(AttributionSegment{knob.id, knob.label, delta});
+    config = next;
+    current = without;
+  }
+  // `current` is now the mitigations=off baseline.
+  report.total_overhead_pct = OverheadPct(with_all, current, lower_is_better);
+  return report;
+}
+
+AttributionReport AttributeBrowserMitigations(const CpuModel& cpu,
+                                              const BrowserMeasureFn& measure,
+                                              const SamplerOptions& options) {
+  AttributionReport report;
+  report.cpu = UarchName(cpu.uarch);
+  report.workload = "octane2";
+
+  // Figure 3 sweep order: JS-level mitigations first (blue in the paper),
+  // then the OS-level ones that apply to the sandboxed browser (green).
+  struct Step {
+    std::string id;
+    std::string label;
+    std::function<void(JitConfig*, MitigationConfig*)> disable;
+  };
+  const std::vector<Step> steps = {
+      {"index_masking", "Index masking",
+       [](JitConfig* jit, MitigationConfig*) { jit->index_masking = false; }},
+      {"object_guards", "Object mitigations",
+       [](JitConfig* jit, MitigationConfig*) { jit->object_guards = false; }},
+      {"other_js", "Other JavaScript",
+       [](JitConfig* jit, MitigationConfig*) { jit->pointer_poisoning = false; }},
+      {"ssbd", "SSBD (seccomp)",
+       [](JitConfig*, MitigationConfig* os) { os->ssbd = SsbdMode::kOff; }},
+      {"other_os", "Other OS",
+       [](JitConfig*, MitigationConfig* os) { *os = MitigationConfig::AllOff(); }},
+  };
+
+  JitConfig jit = JitConfig::AllOn();
+  MitigationConfig os = MitigationConfig::Defaults(cpu);
+  auto measure_current = [&](uint64_t seed_base) {
+    uint64_t seed = seed_base;
+    return SampleUntilConverged([&] { return measure(jit, os, seed++); }, options).estimate;
+  };
+
+  Estimate current = measure_current(1000);
+  const Estimate with_all = current;
+  uint64_t seed_base = 2000;
+  for (const Step& step : steps) {
+    JitConfig next_jit = jit;
+    MitigationConfig next_os = os;
+    step.disable(&next_jit, &next_os);
+    jit = next_jit;
+    os = next_os;
+    const Estimate without = measure_current(seed_base);
+    seed_base += 1000;
+    // Octane is higher-is-better: disabling a mitigation raises the score.
+    // This step's overhead = (score_without / score_with - 1) * 100.
+    report.segments.push_back(
+        AttributionSegment{step.id, step.label,
+                           RelativeOverheadPercent(without, current)});
+    current = without;
+  }
+  report.total_overhead_pct = RelativeOverheadPercent(current, with_all);
+  return report;
+}
+
+}  // namespace specbench

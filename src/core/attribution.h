@@ -1,0 +1,82 @@
+// The paper's central methodology: attribute end-to-end slowdown to
+// individual mitigations (§4.1).
+//
+// "To measure the impact of individual mitigations, we run Linux with the
+// default set of mitigations enabled, and then use kernel boot parameters to
+// successively disable them to determine the overhead that each one causes."
+//
+// AttributeOsMitigations does exactly that: measure the default
+// configuration (sampling until the 95% CI converges), then disable one
+// mitigation at a time — in a fixed order — re-measuring after each step
+// down to mitigations=off. The per-mitigation overhead is the successive
+// difference; the segments stack to the total (Figures 2 and 3).
+#ifndef SPECTREBENCH_SRC_CORE_ATTRIBUTION_H_
+#define SPECTREBENCH_SRC_CORE_ATTRIBUTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cpu_model.h"
+#include "src/jit/jit.h"
+#include "src/os/mitigation_config.h"
+#include "src/stats/sampler.h"
+
+namespace specbench {
+
+// One OS-level mitigation knob in the successive-disable sweep.
+struct MitigationKnob {
+  std::string id;
+  std::string label;
+  // Whether the knob does anything in this CPU's default configuration.
+  std::function<bool(const CpuModel&, const MitigationConfig&)> relevant;
+  // Turns the mitigation off.
+  std::function<void(MitigationConfig*)> disable;
+};
+
+// The knobs measured for Figure 2, in the disable order used by the sweep:
+// PTI (Meltdown), MDS buffer clearing, Spectre V2 (retpolines/eIBRS + IBPB +
+// RSB stuffing), Spectre V1 (lfence + masking), and "other" (everything
+// remaining down to mitigations=off).
+const std::vector<MitigationKnob>& OsMitigationKnobs();
+
+struct AttributionSegment {
+  std::string id;
+  std::string label;
+  Estimate overhead_pct;  // percentage points of the stacked total
+};
+
+struct AttributionReport {
+  std::string cpu;
+  std::string workload;
+  Estimate total_overhead_pct;
+  std::vector<AttributionSegment> segments;  // only knobs with nonzero effect
+
+  // Sum of segment midpoints (== total up to measurement error).
+  double SegmentSum() const;
+};
+
+// A measurement under one OS configuration; seed varies per sample so the
+// injected run-to-run noise exercises the CI machinery. Returns a score or
+// cost for the whole workload.
+using OsMeasureFn = std::function<double(const MitigationConfig&, uint64_t seed)>;
+
+// Successively disables knobs on top of the CPU's default configuration.
+// `lower_is_better` selects cost (cycles) vs score (Octane) semantics.
+AttributionReport AttributeOsMitigations(const CpuModel& cpu, const std::string& workload,
+                                         const OsMeasureFn& measure, bool lower_is_better,
+                                         const SamplerOptions& options = SamplerOptions());
+
+// Browser-side attribution (Figure 3): sweeps the JIT mitigations (index
+// masking, object guards, other JavaScript) and then the OS-side knobs that
+// matter to a seccomp-sandboxed browser (SSBD, other OS).
+using BrowserMeasureFn =
+    std::function<double(const JitConfig&, const MitigationConfig&, uint64_t seed)>;
+
+AttributionReport AttributeBrowserMitigations(const CpuModel& cpu,
+                                              const BrowserMeasureFn& measure,
+                                              const SamplerOptions& options = SamplerOptions());
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_CORE_ATTRIBUTION_H_

@@ -1,0 +1,42 @@
+// The paper's published numbers, embedded for side-by-side comparison.
+//
+// Tables 3-8 are *calibration inputs* (the CPU models were parameterized
+// from them); the benches print measured-vs-paper to show the calibration
+// holds through the actual instruction paths. The figure-level expectations
+// are qualitative *outputs*: shapes the simulation must reproduce without
+// having been given the numbers (see EXPERIMENTS.md).
+#ifndef SPECTREBENCH_SRC_CORE_PAPER_EXPECTATIONS_H_
+#define SPECTREBENCH_SRC_CORE_PAPER_EXPECTATIONS_H_
+
+#include <optional>
+
+#include "src/cpu/cpu_model.h"
+
+namespace specbench {
+
+// Values absent from the paper (marked "N/A") are nullopt.
+struct PaperTable3Row {
+  double syscall;
+  double sysret;
+  std::optional<double> swap_cr3;
+};
+PaperTable3Row PaperTable3(Uarch uarch);
+
+// Table 4: verw cycles; nullopt where the CPU is not MDS-vulnerable.
+std::optional<double> PaperTable4(Uarch uarch);
+
+struct PaperTable5Row {
+  double baseline;
+  std::optional<double> ibrs_delta;
+  double generic_delta;
+  std::optional<double> amd_delta;
+};
+PaperTable5Row PaperTable5(Uarch uarch);
+
+double PaperTable6Ibpb(Uarch uarch);
+double PaperTable7RsbStuff(Uarch uarch);
+double PaperTable8Lfence(Uarch uarch);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_CORE_PAPER_EXPECTATIONS_H_

@@ -1,0 +1,122 @@
+#include "src/hv/hypervisor.h"
+
+#include "src/util/check.h"
+
+namespace specbench {
+
+namespace {
+
+constexpr int64_t kKcallDiskBookkeeping = 200;
+
+// Register roles in the disk path (guest hypercall ABI + host scratch).
+constexpr uint8_t kBufReg = 0;    // guest buffer vaddr
+constexpr uint8_t kLenReg = 1;    // byte count
+constexpr uint8_t kDirReg = 2;    // 0 = read, 1 = write
+constexpr uint8_t kScr8 = 8;
+constexpr uint8_t kScr9 = 9;
+constexpr uint8_t kScr12 = 12;
+constexpr uint8_t kScr13 = 13;
+
+}  // namespace
+
+HostConfig HostConfig::Defaults(const CpuModel& cpu) {
+  HostConfig c;
+  c.l1d_flush_on_vmentry = cpu.vuln.l1tf;
+  c.mds_clear_on_vmentry = cpu.vuln.mds;
+  return c;
+}
+
+HostConfig HostConfig::AllOff() { return HostConfig{}; }
+
+Hypervisor::Hypervisor(Kernel& kernel, const HostConfig& host_config)
+    : kernel_(kernel), host_config_(host_config) {
+  kernel_.DefineSyscall(static_cast<int>(kSysDiskIo),
+                        [this](ProgramBuilder& b) { EmitDiskSyscall(b); });
+  kernel_.AddTextEmitter([this](ProgramBuilder& b) { EmitVmexitHandler(b); });
+  kernel_.machine().RegisterKcall(kKcallDiskBookkeeping, [this](Machine& m) {
+    vm_exits_++;
+    const uint64_t bytes = m.reg(kLenReg);
+    bytes_transferred_ += bytes;
+    if (m.reg(kDirReg) == 0) {
+      disk_reads_++;
+    } else {
+      disk_writes_++;
+    }
+    // Device-model service time: descriptor parsing, block-layer work and
+    // the (fast, NVMe-class) medium latency, plus per-byte costs.
+    m.AddCycles(20000 + bytes / 16);
+  });
+  kernel_.AddPostFinalizeHook([this] { OnFinalized(); });
+}
+
+void Hypervisor::EmitDiskSyscall(ProgramBuilder& b) {
+  // Guest block-driver work: build a request descriptor, ring the doorbell
+  // (vmexit), and complete on resume.
+  for (int i = 0; i < 4; i++) {
+    b.MovImm(kScr8, i);
+    b.Store(MemRef{.base = kNoReg,
+                   .disp = static_cast<int64_t>(kKernelHeapVaddr + 0x20000 + 8 * i)},
+            kScr8);
+  }
+  b.VmExit();
+  // Completion handling after the host re-enters.
+  b.Load(kScr8, MemRef{.disp = static_cast<int64_t>(kKernelHeapVaddr + 0x20000)});
+  b.Ret();
+}
+
+void Hypervisor::EmitVmexitHandler(ProgramBuilder& b) {
+  b.BindSymbol("vmexit_handler");
+  b.Kcall(kKcallDiskBookkeeping);
+  // Emulated disk: copy r1 bytes between the host buffer and the guest
+  // buffer (r0), direction r2.
+  Label read_loop = b.NewLabel();
+  Label write_loop = b.NewLabel();
+  Label copy_done = b.NewLabel();
+  Label is_write = b.NewLabel();
+  b.AluImm(AluOp::kShr, kScr8, kLenReg, 3);
+  b.BranchZ(kScr8, copy_done);
+  b.Mov(kScr9, kBufReg);
+  b.MovImm(kScr12, static_cast<int64_t>(kHostDataVaddr));
+  b.BranchNz(kDirReg, is_write);
+  b.Bind(read_loop);  // disk -> guest buffer
+  b.Load(kScr13, MemRef{.base = kScr12});
+  b.Store(MemRef{.base = kScr9}, kScr13);
+  b.AluImm(AluOp::kAdd, kScr9, kScr9, 8);
+  b.AluImm(AluOp::kAdd, kScr12, kScr12, 8);
+  b.AluImm(AluOp::kSub, kScr8, kScr8, 1);
+  b.BranchNz(kScr8, read_loop);
+  b.Jmp(copy_done);
+  b.Bind(is_write);
+  b.Bind(write_loop);  // guest buffer -> disk
+  b.Load(kScr13, MemRef{.base = kScr9});
+  b.Store(MemRef{.base = kScr12}, kScr13);
+  b.AluImm(AluOp::kAdd, kScr9, kScr9, 8);
+  b.AluImm(AluOp::kAdd, kScr12, kScr12, 8);
+  b.AluImm(AluOp::kSub, kScr8, kScr8, 1);
+  b.BranchNz(kScr8, write_loop);
+  b.Bind(copy_done);
+  // Host mitigations before handing the CPU back to the guest.
+  if (host_config_.mds_clear_on_vmentry) {
+    b.Verw();
+  }
+  if (host_config_.l1d_flush_on_vmentry) {
+    b.FlushL1d();
+  }
+  b.VmEnter();
+}
+
+void Hypervisor::OnFinalized() {
+  Machine& m = kernel_.machine();
+  m.SetVmExitHandler(kernel_.program().SymbolVaddr("vmexit_handler"));
+  // The workload starts already inside the guest.
+  m.SetMode(Mode::kGuestUser);
+  // Seed the emulated disk contents.
+  const uint64_t saved_cr3 = m.cr3();
+  m.SetCr3(kernel_.process(0).kernel_cr3);
+  for (uint64_t off = 0; off < 0x2000; off += 8) {
+    m.PokeData(kHostDataVaddr + off, 0xD15C000000ULL + off);
+  }
+  m.SetCr3(saved_cr3);
+}
+
+}  // namespace specbench

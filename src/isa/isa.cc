@@ -1,0 +1,64 @@
+#include "src/isa/isa.h"
+
+namespace specbench {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kMovImm: return "mov_imm";
+    case Op::kMov: return "mov";
+    case Op::kAlu: return "alu";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kCmov: return "cmov";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kLea: return "lea";
+    case Op::kJmp: return "jmp";
+    case Op::kBranchNz: return "branch_nz";
+    case Op::kBranchZ: return "branch_z";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kIndirectJmp: return "indirect_jmp";
+    case Op::kIndirectCall: return "indirect_call";
+    case Op::kLfence: return "lfence";
+    case Op::kMfence: return "mfence";
+    case Op::kPause: return "pause";
+    case Op::kSyscall: return "syscall";
+    case Op::kSysret: return "sysret";
+    case Op::kSwapgs: return "swapgs";
+    case Op::kMovCr3: return "mov_cr3";
+    case Op::kVerw: return "verw";
+    case Op::kWrmsr: return "wrmsr";
+    case Op::kRdmsr: return "rdmsr";
+    case Op::kRdtsc: return "rdtsc";
+    case Op::kRdpmc: return "rdpmc";
+    case Op::kClflush: return "clflush";
+    case Op::kFlushL1d: return "flush_l1d";
+    case Op::kRsbStuff: return "rsb_stuff";
+    case Op::kXsave: return "xsave";
+    case Op::kXrstor: return "xrstor";
+    case Op::kFpOp: return "fp_op";
+    case Op::kFpToGp: return "fp_to_gp";
+    case Op::kGpToFp: return "gp_to_fp";
+    case Op::kCpuid: return "cpuid";
+    case Op::kVmEnter: return "vm_enter";
+    case Op::kVmExit: return "vm_exit";
+    case Op::kKcall: return "kcall";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kUser: return "user";
+    case Mode::kKernel: return "kernel";
+    case Mode::kGuestUser: return "guest-user";
+    case Mode::kGuestKernel: return "guest-kernel";
+    case Mode::kHost: return "host";
+  }
+  return "?";
+}
+
+}  // namespace specbench

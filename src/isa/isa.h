@@ -1,0 +1,152 @@
+// Micro-operation instruction set of the simulated machine.
+//
+// The simulator executes a small RISC-flavoured IR with the x86 system
+// instructions that matter for transient-execution mitigations: syscall /
+// sysret, swapgs, cr3 writes (page-table switch), verw (MDS buffer clear),
+// wrmsr/rdmsr (IBRS / IBPB / SSBD control), lfence, clflush, xsave/xrstor,
+// rdtsc/rdpmc and VM entry/exit. Mitigation code sequences from the paper
+// (e.g. the two retpoline variants of Figure 4) are transcribed literally
+// into this IR by the OS substrate.
+#ifndef SPECTREBENCH_SRC_ISA_ISA_H_
+#define SPECTREBENCH_SRC_ISA_ISA_H_
+
+#include <cstdint>
+
+namespace specbench {
+
+// General-purpose registers. kRegSp doubles as the stack pointer used by
+// call/ret (return addresses live in simulated memory, which is what makes a
+// literal retpoline sequence possible).
+inline constexpr uint8_t kNumRegs = 16;
+inline constexpr uint8_t kRegSp = 15;
+inline constexpr uint8_t kNoReg = 0xff;
+
+// Floating point registers (enough to demonstrate LazyFP).
+inline constexpr uint8_t kNumFpRegs = 8;
+
+enum class Op : uint8_t {
+  kNop,
+  kMovImm,        // dst = imm
+  kMov,           // dst = src1
+  kAlu,           // dst = alu_op(src1, src2 or imm)
+  kMul,           // dst = src1 * (src2 or imm)
+  kDiv,           // dst = src1 / (src2 or imm); observable via the divider PMC
+  kCmov,          // if reg[src2] != 0 then dst = src1 (dependency barrier!)
+  kLoad,          // dst = mem[ea]
+  kStore,         // mem[ea] = src1
+  kLea,           // dst = ea (no memory access)
+  kJmp,           // rip = target
+  kBranchNz,      // if reg[src1] != 0 then rip = target
+  kBranchZ,       // if reg[src1] == 0 then rip = target
+  kCall,          // push return vaddr; rip = target
+  kRet,           // rip = pop()
+  kIndirectJmp,   // rip = reg[src1]
+  kIndirectCall,  // push return vaddr; rip = reg[src1]
+  kLfence,        // serialize: wait for all prior loads; ends speculation
+  kMfence,        // full fence
+  kPause,         // spin-loop hint (cheap, non-serializing)
+  kSyscall,       // user -> kernel transition to the configured entry point
+  kSysret,        // kernel -> user transition back to saved rip
+  kSwapgs,        // kernel gs swap (Spectre V1 lfence attach point)
+  kMovCr3,        // switch address space to reg[src1]; serializing
+  kVerw,          // legacy segmentation check; with the MDS microcode patch,
+                  // also clears CPU buffers (fill buffers, store buffer data)
+  kWrmsr,         // msr[imm] = reg[src1]; SPEC_CTRL / PRED_CMD have effects
+  kRdmsr,         // dst = msr[imm]
+  kRdtsc,         // dst = current cycle
+  kRdpmc,         // dst = performance counter imm
+  kClflush,       // evict the line containing ea from all cache levels
+  kFlushL1d,      // IA32_FLUSH_CMD-style full L1D flush (L1TF mitigation)
+  kRsbStuff,      // fill the return stack buffer with harmless entries
+  kXsave,         // save FPU state; latency depends on the CPU generation
+  kXrstor,        // restore FPU state
+  kFpOp,          // floating point compute touching fpreg[imm]; traps if the
+                  // FPU is disabled (lazy FPU switching)
+  kFpToGp,        // dst = fpreg[imm]; the LazyFP leak primitive
+  kGpToFp,        // fpreg[imm] = reg[src1]
+  kCpuid,         // serializing no-op
+  kVmEnter,       // host -> guest transition
+  kVmExit,        // guest -> host transition (hypercall / device access)
+  kKcall,         // simulator call-out: runs a registered C++ hook (imm = id).
+                  // Used by the OS substrate for semantic side effects (mmap,
+                  // scheduling bookkeeping); never executed speculatively.
+  kHalt,          // stop the machine
+};
+
+enum class AluOp : uint8_t {
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kCmpLt,   // dst = (a < b) ? 1 : 0, unsigned
+  kCmpGe,   // dst = (a >= b) ? 1 : 0, unsigned
+  kCmpEq,
+  kCmpNe,
+};
+
+// Memory operand: effective address = reg[base] + reg[index] * scale + disp.
+// base/index may be kNoReg (treated as zero).
+struct MemRef {
+  uint8_t base = kNoReg;
+  uint8_t index = kNoReg;
+  uint8_t scale = 1;
+  int64_t disp = 0;
+};
+
+// Model-specific registers with architectural effects in the simulator.
+inline constexpr uint32_t kMsrSpecCtrl = 0x48;   // bit0 IBRS, bit2 SSBD
+inline constexpr uint32_t kMsrPredCmd = 0x49;    // bit0 IBPB (write-only)
+inline constexpr uint32_t kMsrFlushCmd = 0x10b;  // bit0 L1D flush (write-only)
+inline constexpr uint64_t kSpecCtrlIbrs = 1u << 0;
+inline constexpr uint64_t kSpecCtrlSsbd = 1u << 2;
+inline constexpr uint64_t kPredCmdIbpb = 1u << 0;
+
+// Performance counter identifiers readable via kRdpmc (paper §6.1 relies on
+// the divider-active counter to detect speculative execution).
+enum class Pmc : uint8_t {
+  kCycles = 0,
+  kInstructions = 1,
+  kArithDividerActive = 2,  // cycles the divide unit was busy, incl. transient
+  kMispIndirect = 3,        // mispredicted indirect branches
+  kBtbHits = 4,
+  kRsbUnderflows = 5,
+  kSpeculativeLoads = 6,
+  kSquashedUops = 7,
+  kKernelEntries = 8,
+  kCount,
+};
+
+struct Instruction {
+  Op op = Op::kNop;
+  AluOp alu = AluOp::kAdd;
+  uint8_t dst = kNoReg;
+  uint8_t src1 = kNoReg;
+  uint8_t src2 = kNoReg;
+  bool use_imm = false;  // for kAlu/kMul/kDiv: second operand is imm
+  int64_t imm = 0;       // immediate / MSR number / PMC id / fp reg index
+  MemRef mem;
+  int32_t target = -1;   // branch target: instruction index (resolved label)
+};
+
+// Execution privilege of the simulated machine.
+enum class Mode : uint8_t {
+  kUser = 0,
+  kKernel = 1,
+  kGuestUser = 2,
+  kGuestKernel = 3,
+  kHost = 4,  // hypervisor context
+};
+
+inline bool IsKernelMode(Mode mode) {
+  return mode == Mode::kKernel || mode == Mode::kGuestKernel || mode == Mode::kHost;
+}
+
+const char* OpName(Op op);
+const char* ModeName(Mode mode);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_ISA_ISA_H_

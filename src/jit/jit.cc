@@ -1,0 +1,175 @@
+#include "src/jit/jit.h"
+
+#include "src/util/check.h"
+
+namespace specbench {
+
+namespace {
+
+// Scratch registers the emitter owns (documented in the header).
+constexpr uint8_t kScrZero = 11;
+constexpr uint8_t kScrLen = 12;
+constexpr uint8_t kScrCond = 13;
+constexpr uint8_t kScrMasked = 14;
+
+}  // namespace
+
+JsEmitter::JsEmitter(ProgramBuilder& builder, const JitConfig& config)
+    : builder_(builder), config_(config) {}
+
+uint8_t JsEmitter::MaskIndex(uint8_t idx, uint8_t len_reg) {
+  (void)len_reg;
+  if (!config_.index_masking) {
+    return idx;
+  }
+  // index' = in_bounds ? index : 0 — a single conditional move reusing the
+  // bounds check's result (kScrCond), exactly like SpiderMonkey's codegen.
+  // On the committed path it is a no-op, but the access address now
+  // *data-depends* on the bounds check (paper §5.4: "it blocks execution
+  // until the array length has resolved").
+  builder_.MovImm(kScrMasked, 0);
+  builder_.Cmov(kScrMasked, idx, kScrCond);
+  mitigation_instructions_ += 2;
+  return kScrMasked;
+}
+
+uint8_t JsEmitter::GuardObject(uint8_t obj, uint8_t shape_reg, int64_t shape) {
+  (void)shape_reg;
+  (void)shape;
+  if (!config_.object_guards) {
+    return obj;
+  }
+  // obj' = shape_matches ? obj : nullptr, reusing the shape check's result
+  // in kScrCond.
+  builder_.MovImm(kScrMasked, 0);
+  builder_.Cmov(kScrMasked, obj, kScrCond);
+  mitigation_instructions_ += 2;
+  return kScrMasked;
+}
+
+uint8_t JsEmitter::HardenBase(uint8_t base) {
+  if (!config_.speculative_load_hardening) {
+    return base;
+  }
+  // base' = predicate ? base : nullptr. The predicate register (kScrCond)
+  // carries the most recent guard outcome, so every load's address waits on
+  // it — which is exactly how SLH keeps speculative loads from issuing.
+  builder_.MovImm(kScrZero, 0);
+  builder_.Cmov(kScrZero, base, kScrCond);
+  mitigation_instructions_ += 2;
+  return kScrZero;
+}
+
+void JsEmitter::SlhPrologue() {
+  if (config_.speculative_load_hardening) {
+    builder_.MovImm(kScrCond, 1);  // predicate starts "not misspeculating"
+  }
+}
+
+void JsEmitter::GetElem(uint8_t dst, uint8_t array, uint8_t idx) {
+  Label bail = builder_.NewLabel();
+  Label done = builder_.NewLabel();
+  builder_.Load(kScrLen, MemRef{.base = array, .disp = kArrayLengthOffset});
+  builder_.Alu(AluOp::kCmpLt, kScrCond, idx, kScrLen);
+  builder_.BranchZ(kScrCond, bail);
+  const uint8_t use_idx = MaskIndex(idx, kScrLen);
+  const uint8_t use_array = HardenBase(array);
+  builder_.Load(dst, MemRef{.base = use_array, .index = use_idx, .scale = 8,
+                            .disp = kArrayElemsOffset});
+  builder_.Jmp(done);
+  builder_.Bind(bail);
+  builder_.MovImm(dst, 0);
+  builder_.Bind(done);
+}
+
+void JsEmitter::SetElem(uint8_t array, uint8_t idx, uint8_t src) {
+  Label bail = builder_.NewLabel();
+  builder_.Load(kScrLen, MemRef{.base = array, .disp = kArrayLengthOffset});
+  builder_.Alu(AluOp::kCmpLt, kScrCond, idx, kScrLen);
+  builder_.BranchZ(kScrCond, bail);
+  const uint8_t use_idx = MaskIndex(idx, kScrLen);
+  const uint8_t use_array = HardenBase(array);
+  builder_.Store(MemRef{.base = use_array, .index = use_idx, .scale = 8,
+                        .disp = kArrayElemsOffset},
+                 src);
+  builder_.Bind(bail);
+}
+
+void JsEmitter::GetField(uint8_t dst, uint8_t obj, int field, int64_t shape) {
+  Label bail = builder_.NewLabel();
+  Label done = builder_.NewLabel();
+  builder_.Load(kScrLen, MemRef{.base = obj, .disp = kObjectShapeOffset});
+  builder_.AluImm(AluOp::kCmpEq, kScrCond, kScrLen, shape);
+  builder_.BranchZ(kScrCond, bail);
+  const uint8_t use_obj = HardenBase(GuardObject(obj, kScrLen, shape));
+  builder_.Load(dst, MemRef{.base = use_obj,
+                            .disp = kObjectFieldsOffset + 8 * static_cast<int64_t>(field)});
+  builder_.Jmp(done);
+  builder_.Bind(bail);
+  builder_.MovImm(dst, 0);
+  builder_.Bind(done);
+}
+
+void JsEmitter::SetField(uint8_t obj, int field, int64_t shape, uint8_t src) {
+  Label bail = builder_.NewLabel();
+  builder_.Load(kScrLen, MemRef{.base = obj, .disp = kObjectShapeOffset});
+  builder_.AluImm(AluOp::kCmpEq, kScrCond, kScrLen, shape);
+  builder_.BranchZ(kScrCond, bail);
+  const uint8_t use_obj = HardenBase(GuardObject(obj, kScrLen, shape));
+  builder_.Store(MemRef{.base = use_obj,
+                        .disp = kObjectFieldsOffset + 8 * static_cast<int64_t>(field)},
+                 src);
+  builder_.Bind(bail);
+}
+
+void JsEmitter::LoadHeapPtr(uint8_t dst, uint8_t base, int64_t disp) {
+  const uint8_t use_base = HardenBase(base);
+  builder_.Load(dst, MemRef{.base = use_base, .disp = disp});
+  if (config_.pointer_poisoning) {
+    // Unpoison: an ALU dependency on every pointer chase.
+    builder_.AluImm(AluOp::kXor, dst, dst, static_cast<int64_t>(kJsPointerPoison));
+    mitigation_instructions_++;
+  }
+}
+
+JsHeap::JsHeap(uint64_t base_vaddr, uint64_t bytes)
+    : base_(base_vaddr), end_(base_vaddr + bytes), next_(base_vaddr) {}
+
+uint64_t JsHeap::AllocArray(Machine& m, const std::vector<uint64_t>& values) {
+  const uint64_t addr = next_;
+  next_ += 8 * (values.size() + 1);
+  SPECBENCH_CHECK_MSG(next_ <= end_, "JsHeap exhausted");
+  m.PokeData(addr + kArrayLengthOffset, values.size());
+  for (size_t i = 0; i < values.size(); i++) {
+    m.PokeData(addr + kArrayElemsOffset + 8 * i, values[i]);
+  }
+  return addr;
+}
+
+uint64_t JsHeap::AllocArrayN(Machine& m, uint64_t length, uint64_t fill) {
+  const uint64_t addr = next_;
+  next_ += 8 * (length + 1);
+  SPECBENCH_CHECK_MSG(next_ <= end_, "JsHeap exhausted");
+  m.PokeData(addr + kArrayLengthOffset, length);
+  for (uint64_t i = 0; i < length; i++) {
+    m.PokeData(addr + kArrayElemsOffset + 8 * i, fill + i);
+  }
+  return addr;
+}
+
+uint64_t JsHeap::AllocObject(Machine& m, uint64_t shape, const std::vector<uint64_t>& fields) {
+  const uint64_t addr = next_;
+  next_ += 8 * (fields.size() + 1);
+  SPECBENCH_CHECK_MSG(next_ <= end_, "JsHeap exhausted");
+  m.PokeData(addr + kObjectShapeOffset, shape);
+  for (size_t i = 0; i < fields.size(); i++) {
+    m.PokeData(addr + kObjectFieldsOffset + 8 * i, fields[i]);
+  }
+  return addr;
+}
+
+void JsHeap::StorePtr(Machine& m, uint64_t slot_vaddr, uint64_t ptr, const JitConfig& config) {
+  m.PokeData(slot_vaddr, config.pointer_poisoning ? (ptr ^ kJsPointerPoison) : ptr);
+}
+
+}  // namespace specbench

@@ -1,0 +1,27 @@
+#include "src/stats/sampler.h"
+
+#include "src/util/check.h"
+
+namespace specbench {
+
+SampleResult SampleUntilConverged(const std::function<double()>& measure,
+                                  const SamplerOptions& options) {
+  SPECBENCH_CHECK(options.min_samples >= 2);
+  SPECBENCH_CHECK(options.max_samples >= options.min_samples);
+
+  RunningStats stats;
+  SampleResult result;
+  while (stats.count() < options.max_samples) {
+    stats.Add(measure());
+    if (stats.count() >= options.min_samples &&
+        stats.relative_ci95() <= options.target_relative_ci) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.estimate = Estimate{stats.mean(), stats.ci95_half_width()};
+  result.samples = stats.count();
+  return result;
+}
+
+}  // namespace specbench

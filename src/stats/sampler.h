@@ -1,0 +1,40 @@
+// Adaptive sampling: run a measurement until its 95% CI is tight enough.
+//
+// Mirrors the paper's methodology (§4.1): individual benchmark runs vary by a
+// couple percent, but repeating each configuration until the confidence
+// interval converges gives an accurate estimate of the true average.
+#ifndef SPECTREBENCH_SRC_STATS_SAMPLER_H_
+#define SPECTREBENCH_SRC_STATS_SAMPLER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/stats/summary.h"
+
+namespace specbench {
+
+struct SamplerOptions {
+  // Minimum samples before the stopping rule is consulted.
+  size_t min_samples = 5;
+  // Hard cap so a noisy measurement cannot run forever.
+  size_t max_samples = 200;
+  // Stop when ci95_half_width / mean falls below this.
+  double target_relative_ci = 0.01;
+};
+
+struct SampleResult {
+  Estimate estimate;
+  size_t samples = 0;
+  // True if the stopping rule was met before max_samples.
+  bool converged = false;
+};
+
+// Repeatedly invokes `measure` (each call returns one benchmark score or
+// cycle count) until the 95% CI half-width relative to the mean drops below
+// the target, then returns the mean estimate.
+SampleResult SampleUntilConverged(const std::function<double()>& measure,
+                                  const SamplerOptions& options = SamplerOptions());
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_STATS_SAMPLER_H_

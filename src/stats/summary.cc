@@ -1,0 +1,125 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace specbench {
+
+void RunningStats::Add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  count_++;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::ci95_half_width() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return TCritical95(count_ - 1) * sem();
+}
+
+double RunningStats::relative_ci95() const {
+  if (count_ < 2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double m = std::fabs(mean_);
+  if (m == 0.0) {
+    return ci95_half_width() == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return ci95_half_width() / m;
+}
+
+double TCritical95(size_t dof) {
+  // Two-sided 0.975 quantiles of Student's t distribution.
+  static const double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,  // dof 0-9
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,  // 10-19
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,  // 20-29
+      2.042,
+  };
+  if (dof == 0) {
+    return 0.0;
+  }
+  if (dof < sizeof(kTable) / sizeof(kTable[0])) {
+    return kTable[dof];
+  }
+  if (dof < 60) {
+    return 2.009;
+  }
+  if (dof < 120) {
+    return 1.984;
+  }
+  return 1.960;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    SPECBENCH_CHECK_MSG(v > 0.0, "GeometricMean requires strictly positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double q) {
+  SPECBENCH_CHECK(!values.empty());
+  SPECBENCH_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Estimate RelativeOverheadPercent(const Estimate& slow, const Estimate& fast) {
+  SPECBENCH_CHECK(fast.value > 0.0);
+  const double ratio = slow.value / fast.value;
+  // First-order error propagation for a quotient.
+  const double rel_err_slow = slow.value != 0.0 ? slow.ci95 / slow.value : 0.0;
+  const double rel_err_fast = fast.ci95 / fast.value;
+  const double ratio_err = ratio * std::sqrt(rel_err_slow * rel_err_slow +
+                                             rel_err_fast * rel_err_fast);
+  return Estimate{(ratio - 1.0) * 100.0, ratio_err * 100.0};
+}
+
+Estimate Difference(const Estimate& a, const Estimate& b) {
+  return Estimate{a.value - b.value, std::sqrt(a.ci95 * a.ci95 + b.ci95 * b.ci95)};
+}
+
+}  // namespace specbench

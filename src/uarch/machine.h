@@ -1,0 +1,260 @@
+// The simulated processor: a timing-approximate, speculating machine.
+//
+// Execution model (a scoreboarded out-of-order approximation):
+//   * Instructions issue in order, one per cycle (`now_` is the issue clock).
+//   * Every register carries a `ready_at` cycle; consumers wait for their
+//     sources, so dependency chains serialize while independent work
+//     overlaps. `retire_frontier_` tracks the latest completion; reported
+//     cycles are max(issue clock, frontier), and issue may run at most one
+//     reorder-window ahead of the frontier (ROB backpressure).
+//   * Serializing instructions (lfence, syscall, wrmsr, cpuid, mov cr3 ...)
+//     synchronize the issue clock with the frontier.
+//
+// Speculation: a mispredicted branch triggers a *speculative episode* that
+// interprets the wrong path for as many cycles as the branch takes to
+// resolve (bounded by the CPU's speculation window). Episodes have no
+// architectural effects but real microarchitectural ones: cache fills, fill
+// buffer updates, and divider activity — which is exactly what transient
+// execution attacks observe, and what the paper's Figure 6 probe measures.
+//
+// Vulnerability modelling inside episodes (gated by CpuModel flags):
+//   * Meltdown: user-mode loads of kernel-only mappings return real data.
+//   * L1TF: loads through non-present PTEs return data if the line is in L1.
+//   * MDS: loads that fault with no mapping forward stale fill-buffer data.
+//   * LazyFP: FP reads with the FPU disabled return the stale registers.
+//   * Spec. Store Bypass: loads may bypass unresolved older stores and read
+//     stale memory; SSBD instead makes them wait (the measurable cost).
+#ifndef SPECTREBENCH_SRC_UARCH_MACHINE_H_
+#define SPECTREBENCH_SRC_UARCH_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/cpu/cpu_model.h"
+#include "src/isa/isa.h"
+#include "src/isa/program.h"
+#include "src/uarch/cache.h"
+#include "src/uarch/memory.h"
+#include "src/uarch/predictors.h"
+
+namespace specbench {
+
+class Machine {
+ public:
+  explicit Machine(const CpuModel& cpu);
+
+  // --- Setup -------------------------------------------------------------
+  void LoadProgram(const Program* program);
+  const Program* program() const { return program_; }
+  // Translation provider; defaults to the identity map. Not owned.
+  void SetMemoryMap(const MemoryMap* map);
+
+  // Entry point jumped to by the kSyscall instruction.
+  void SetSyscallEntry(uint64_t vaddr) { syscall_entry_ = vaddr; }
+  // Where kVmEnter transfers to initially (updated by kVmExit to resume).
+  void SetGuestResumePoint(uint64_t vaddr) { guest_resume_rip_ = vaddr; }
+  // Handler the host runs after kVmExit.
+  void SetVmExitHandler(uint64_t vaddr) { vm_exit_handler_ = vaddr; }
+
+  // Page-fault hook: return true if handled (instruction is retried).
+  using PageFaultHook = std::function<bool(Machine&, uint64_t vaddr)>;
+  void SetPageFaultHook(PageFaultHook hook) { page_fault_hook_ = std::move(hook); }
+  // FPU device-not-available hook (lazy FPU switching); must leave the FPU
+  // enabled or the machine aborts.
+  using FpTrapHook = std::function<void(Machine&)>;
+  void SetFpTrapHook(FpTrapHook hook) { fp_trap_hook_ = std::move(hook); }
+  // Simulator call-outs executed by kKcall. Hooks run architecturally only
+  // (speculation stops at kKcall) and may charge cycles via AddCycles.
+  using KcallHook = std::function<void(Machine&)>;
+  void RegisterKcall(int64_t id, KcallHook hook);
+
+  // Execution tracing: when set, invoked once per *committed* instruction
+  // (before execution) with its program index, pc and the current cycle.
+  // Speculative episodes are not traced — they never commit. Intended for
+  // debugging and workload characterization; adds noticeable overhead.
+  struct TraceRecord {
+    int32_t index = 0;
+    uint64_t pc = 0;
+    Op op = Op::kNop;
+    Mode mode = Mode::kUser;
+    uint64_t cycle = 0;
+  };
+  using TraceHook = std::function<void(const TraceRecord&)>;
+  void SetTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  // --- Architectural state -----------------------------------------------
+  uint64_t reg(uint8_t index) const;
+  void SetReg(uint8_t index, uint64_t value);
+  uint64_t fpreg(uint8_t index) const;
+  void SetFpReg(uint8_t index, uint64_t value);
+  Mode mode() const { return mode_; }
+  void SetMode(Mode mode) { mode_ = mode; }
+  uint64_t cr3() const { return cr3_; }
+  void SetCr3(uint64_t value) { cr3_ = value; }
+  bool fpu_enabled() const { return fpu_enabled_; }
+  void SetFpuEnabled(bool enabled) { fpu_enabled_ = enabled; }
+  uint64_t saved_user_rip() const { return saved_user_rip_; }
+  void SetSavedUserRip(uint64_t vaddr) { saved_user_rip_ = vaddr; }
+  uint64_t saved_host_rip() const { return saved_host_rip_; }
+
+  // Direct data access through the current memory map (kernel privilege).
+  // Drains the store buffer first so reads observe all prior stores.
+  uint64_t PeekData(uint64_t vaddr);
+  void PokeData(uint64_t vaddr, uint64_t value);
+
+  bool ibrs_active() const { return (msr_spec_ctrl_ & kSpecCtrlIbrs) != 0; }
+  bool ssbd_active() const { return (msr_spec_ctrl_ & kSpecCtrlSsbd) != 0; }
+  // OS-level per-process SSBD without executing a wrmsr (context switch).
+  void SetSsbd(bool active);
+  void SetIbrs(bool active);
+
+  // When false, cr3 writes flush the TLB (kernel booted with nopcid).
+  void SetPcidEnabled(bool enabled) { pcid_enabled_ = enabled; }
+
+  // SMT sibling identity and STIBP. When STIBP is active, indirect branch
+  // predictor entries are partitioned per hyperthread, blocking cross-SMT
+  // Spectre V2 training. The interleaving harness sets the thread id as it
+  // switches siblings.
+  void SetSmtThreadId(uint64_t id) { smt_thread_id_ = id; }
+  uint64_t smt_thread_id() const { return smt_thread_id_; }
+  void SetStibp(bool active) { stibp_active_ = active; }
+  bool stibp_active() const { return stibp_active_; }
+
+  // --- Execution -----------------------------------------------------------
+  struct RunResult {
+    uint64_t cycles = 0;        // cycles consumed by this Run call
+    uint64_t instructions = 0;  // instructions retired by this Run call
+    bool halted = false;        // ended at kHalt (vs. instruction budget)
+    uint64_t resume_rip = 0;    // where to continue when !halted
+  };
+  RunResult Run(uint64_t entry_vaddr, uint64_t max_instructions = 100'000'000);
+  // Like Run, but exhausting the instruction budget is a normal outcome
+  // (halted=false, resume_rip set). Used to interleave SMT sibling threads.
+  RunResult RunPartial(uint64_t entry_vaddr, uint64_t max_instructions);
+
+  // Architectural thread context for SMT-style interleaving: registers and
+  // control state only — caches, predictors, fill buffers and the store
+  // buffer are the *shared* core resources siblings contend on (and leak
+  // through).
+  struct ThreadContext {
+    std::array<uint64_t, kNumRegs> regs{};
+    std::array<uint64_t, kNumRegs> ready_at{};
+    std::array<uint64_t, kNumFpRegs> fpregs{};
+    Mode mode = Mode::kUser;
+    uint64_t cr3 = 0;
+    bool fpu_enabled = true;
+    uint64_t msr_spec_ctrl = 0;
+    uint64_t saved_user_rip = 0;
+    uint64_t resume_rip = 0;
+  };
+  ThreadContext SaveContext() const;
+  void RestoreContext(const ThreadContext& context);
+
+  // Total cycle count: issue clock / completion frontier, whichever is later.
+  uint64_t cycles() const;
+  uint64_t PmcValue(Pmc counter) const;
+  void ResetPmcs();
+  // Adds cycles directly (used by OS hooks to charge handler work).
+  void AddCycles(uint64_t cycles);
+  // Makes all in-flight work complete (used at measurement boundaries).
+  void DrainPipeline();
+  void DrainStoreBuffer();
+
+  // --- Microarchitectural state (tests, attacks, mitigation code) ---------
+  CacheHierarchy& caches() { return caches_; }
+  const CacheHierarchy& caches() const { return caches_; }
+  Tlb& tlb() { return tlb_; }
+  Btb& btb() { return btb_; }
+  Rsb& rsb() { return rsb_; }
+  CondPredictor& cond_predictor() { return cond_predictor_; }
+  FillBuffers& fill_buffers() { return fill_buffers_; }
+  StoreBuffer& store_buffer() { return store_buffer_; }
+  SparseMemory& physical_memory() { return memory_; }
+  const CpuModel& cpu() const { return cpu_; }
+
+  // Caller-context hash feeding BHB-indexed BTBs (Zen 3 policy).
+  uint64_t caller_context() const;
+
+ private:
+  struct SpecRegs {
+    std::array<uint64_t, kNumRegs> value;
+    std::array<uint64_t, kNumRegs> ready_at;
+  };
+
+  void Step();
+  // Executes the wrong path starting at instruction `index` for at most
+  // `budget` cycles beginning at absolute cycle `t0`.
+  void RunSpeculativeEpisode(int32_t index, uint64_t t0, uint64_t budget);
+
+  uint64_t SourcesReadyAt(const Instruction& instr) const;
+  uint64_t EffectiveAddress(const Instruction& instr,
+                            const std::array<uint64_t, kNumRegs>& regs) const;
+  void WriteReg(uint8_t index, uint64_t value, uint64_t ready_at);
+  uint64_t AluCompute(AluOp op, uint64_t a, uint64_t b) const;
+  // Serialize issue with the completion frontier.
+  void Serialize();
+  void ApplyStore(const StoreBuffer::Entry& entry);
+  void DrainResolvedStores(uint64_t now);
+  // Committed load path; returns value, sets *ready_at.
+  uint64_t CommittedLoad(uint64_t vaddr, uint64_t issue_at, uint64_t* ready_at);
+  bool PredictionAllowed(Mode mode) const;
+  // Episode-side load semantics incl. all vulnerability paths.
+  uint64_t SpeculativeLoad(uint64_t vaddr, uint64_t at,
+                           const std::map<uint64_t, uint64_t>& spec_stores, bool* completed);
+
+  const CpuModel cpu_;
+  const Program* program_ = nullptr;
+  IdentityMemoryMap identity_map_;
+  const MemoryMap* memory_map_ = nullptr;
+
+  // Architectural state.
+  std::array<uint64_t, kNumRegs> regs_{};
+  std::array<uint64_t, kNumRegs> ready_at_{};
+  std::array<uint64_t, kNumFpRegs> fpregs_{};
+  int32_t rip_ = 0;
+  Mode mode_ = Mode::kUser;
+  uint64_t cr3_ = 0;
+  bool fpu_enabled_ = true;
+  uint64_t msr_spec_ctrl_ = 0;
+  std::map<uint32_t, uint64_t> msr_other_;
+  uint64_t saved_user_rip_ = 0;
+  uint64_t saved_host_rip_ = 0;
+  uint64_t guest_resume_rip_ = 0;
+  uint64_t vm_exit_handler_ = 0;
+  uint64_t syscall_entry_ = 0;
+
+  // Timing state.
+  uint64_t now_ = 0;
+  uint64_t retire_frontier_ = 0;
+  uint64_t instructions_ = 0;
+  bool halted_ = false;
+
+  // Microarchitectural state.
+  SparseMemory memory_;
+  CacheHierarchy caches_;
+  Tlb tlb_;
+  Btb btb_;
+  Rsb rsb_;
+  CondPredictor cond_predictor_;
+  FillBuffers fill_buffers_;
+  StoreBuffer store_buffer_;
+  bool pcid_enabled_;
+  uint64_t smt_thread_id_ = 0;
+  bool stibp_active_ = false;
+  std::vector<uint64_t> call_site_stack_;
+  uint64_t kernel_entry_counter_ = 0;
+
+  std::array<uint64_t, static_cast<size_t>(Pmc::kCount)> pmcs_{};
+
+  PageFaultHook page_fault_hook_;
+  FpTrapHook fp_trap_hook_;
+  std::map<int64_t, KcallHook> kcall_hooks_;
+  TraceHook trace_hook_;
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_MACHINE_H_

@@ -1,0 +1,26 @@
+#include "src/uarch/memory.h"
+
+namespace specbench {
+
+Translation IdentityMemoryMap::Translate(uint64_t vaddr, uint64_t asid, Mode mode) const {
+  (void)asid;
+  (void)mode;
+  Translation t;
+  t.valid = true;
+  t.mapped = true;
+  t.present = true;
+  t.user_accessible = true;
+  t.paddr = vaddr;
+  return t;
+}
+
+uint64_t SparseMemory::Read(uint64_t paddr) const {
+  auto it = words_.find(AlignWord(paddr));
+  return it == words_.end() ? 0 : it->second;
+}
+
+void SparseMemory::Write(uint64_t paddr, uint64_t value) {
+  words_[AlignWord(paddr)] = value;
+}
+
+}  // namespace specbench

@@ -1,0 +1,68 @@
+// Simulated physical memory and the address-translation interface.
+//
+// Data memory is a sparse map of 8-byte-aligned words. Translation is
+// delegated to a MemoryMap implementation — the OS substrate provides real
+// page tables; standalone uarch tests use the identity map. The translation
+// result carries the bits that transient-execution attacks abuse: a mapping
+// can exist in the TLB/page tables yet be architecturally inaccessible
+// (Meltdown: user access to kernel memory) or marked non-present while its
+// data still sits in the L1 (L1TF).
+#ifndef SPECTREBENCH_SRC_UARCH_MEMORY_H_
+#define SPECTREBENCH_SRC_UARCH_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/isa/isa.h"
+
+namespace specbench {
+
+inline constexpr uint64_t kPageBytes = 4096;
+
+inline uint64_t PageOf(uint64_t vaddr) { return vaddr / kPageBytes; }
+inline uint64_t AlignWord(uint64_t addr) { return addr & ~UINT64_C(7); }
+
+// Outcome of translating a virtual address in a given address space.
+struct Translation {
+  // Architecturally valid for the requesting mode: access commits normally.
+  bool valid = false;
+  // PTE exists at all (used for the page-walk / fault distinction).
+  bool mapped = false;
+  // PTE present bit. A non-present PTE with a stale physical address is the
+  // L1TF ingredient.
+  bool present = false;
+  // User-mode accessible. Kernel mappings visible in the user page table
+  // (no PTI) have mapped=true, user_accessible=false: the Meltdown surface.
+  bool user_accessible = false;
+  uint64_t paddr = 0;
+};
+
+// Address-space/translation provider. `asid` is the current cr3 value.
+class MemoryMap {
+ public:
+  virtual ~MemoryMap() = default;
+  virtual Translation Translate(uint64_t vaddr, uint64_t asid, Mode mode) const = 0;
+};
+
+// Identity mapping: every address is valid from any mode. Used by unit tests
+// and microbenchmarks that do not involve the OS substrate.
+class IdentityMemoryMap : public MemoryMap {
+ public:
+  Translation Translate(uint64_t vaddr, uint64_t asid, Mode mode) const override;
+};
+
+// Sparse 64-bit word-addressed physical memory.
+class SparseMemory {
+ public:
+  uint64_t Read(uint64_t paddr) const;
+  void Write(uint64_t paddr, uint64_t value);
+  size_t footprint_words() const { return words_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> words_;
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_MEMORY_H_

@@ -1,0 +1,36 @@
+// Lightweight always-on invariant checking.
+//
+// The simulator is a model of hardware: silent state corruption would
+// invalidate every measurement built on top of it, so internal invariants are
+// checked in all build types (not just debug). A failed check aborts with a
+// message; this is a programming error, never a recoverable condition.
+#ifndef SPECTREBENCH_SRC_UTIL_CHECK_H_
+#define SPECTREBENCH_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace specbench {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "SPECBENCH_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace specbench
+
+#define SPECBENCH_CHECK(expr)                                 \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::specbench::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                         \
+  } while (0)
+
+#define SPECBENCH_CHECK_MSG(expr, msg)                        \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::specbench::CheckFailed(__FILE__, __LINE__, msg);      \
+    }                                                         \
+  } while (0)
+
+#endif  // SPECTREBENCH_SRC_UTIL_CHECK_H_

@@ -1,0 +1,41 @@
+// LEBench-style OS microbenchmark suite (paper §4.2, Figure 2).
+//
+// Fourteen kernels, each stressing one core OS operation through the simulated
+// kernel's full syscall path — so every configured mitigation (PTI cr3
+// swaps, verw, retpolines/IBRS, IBPB + RSB stuffing on context switch,
+// lfence-after-swapgs, index masking) is paid exactly where Linux pays it.
+// The suite score is the geometric mean of per-op cycle costs, matching the
+// paper's aggregation.
+#ifndef SPECTREBENCH_SRC_WORKLOAD_LEBENCH_H_
+#define SPECTREBENCH_SRC_WORKLOAD_LEBENCH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/os/mitigation_config.h"
+
+namespace specbench {
+
+class LeBench {
+ public:
+  // The kernels in the suite, in reporting order.
+  static const std::vector<std::string>& KernelNames();
+
+  // Runs one named kernel on a fresh simulated kernel with `config` and
+  // returns average cycles per operation (lower is better), with seeded
+  // measurement noise.
+  static double RunKernel(const std::string& name, const CpuModel& cpu,
+                          const MitigationConfig& config, uint64_t seed);
+
+  // Runs the whole suite; returns kernel -> cycles/op.
+  static std::map<std::string, double> RunSuite(const CpuModel& cpu,
+                                                const MitigationConfig& config, uint64_t seed);
+
+  // Geometric mean of per-op costs over the suite (the Figure 2 metric).
+  static double SuiteGeomean(const std::map<std::string, double>& results);
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_WORKLOAD_LEBENCH_H_

@@ -1,0 +1,12 @@
+#include "src/workload/measurement.h"
+
+#include "src/util/rng.h"
+
+namespace specbench {
+
+double ApplyNoise(double value, uint64_t seed, double sigma) {
+  Rng rng(seed);
+  return value * (1.0 + sigma * rng.NextGaussian());
+}
+
+}  // namespace specbench

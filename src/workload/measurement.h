@@ -1,0 +1,23 @@
+// Shared measurement plumbing for the workload suites.
+//
+// The simulator is deterministic; real machines are not. To exercise the
+// paper's statistical methodology (§4.1: repeat until the 95% CI converges),
+// every workload measurement passes through ApplyNoise, which adds a small
+// seeded multiplicative jitter — the "couple percent" run-to-run variation
+// the paper describes.
+#ifndef SPECTREBENCH_SRC_WORKLOAD_MEASUREMENT_H_
+#define SPECTREBENCH_SRC_WORKLOAD_MEASUREMENT_H_
+
+#include <cstdint>
+
+namespace specbench {
+
+// Default run-to-run noise, relative standard deviation.
+inline constexpr double kDefaultNoiseSigma = 0.01;
+
+// Returns value * (1 + sigma * gaussian(seed)).
+double ApplyNoise(double value, uint64_t seed, double sigma = kDefaultNoiseSigma);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_WORKLOAD_MEASUREMENT_H_

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hv/hypervisor.h"
+
+namespace specbench {
+namespace {
+
+struct Vm {
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<Hypervisor> hv;
+};
+
+// Guest that performs `io_count` disk reads of `bytes` each.
+Vm DiskVm(Uarch uarch, const MitigationConfig& guest_config, const HostConfig& host_config,
+          int io_count, int bytes) {
+  Vm vm;
+  vm.kernel = std::make_unique<Kernel>(GetCpuModel(uarch), guest_config);
+  vm.hv = std::make_unique<Hypervisor>(*vm.kernel, host_config);
+  ProgramBuilder& b = vm.kernel->builder();
+  b.BindSymbol("guest_main");
+  Label loop = b.NewLabel();
+  b.MovImm(3, io_count);
+  b.Bind(loop);
+  b.MovImm(0, static_cast<int64_t>(kUserDataVaddr));  // guest buffer
+  b.MovImm(1, bytes);
+  b.MovImm(2, 0);                                     // read
+  vm.kernel->EmitSyscall(b, kSysDiskIo);
+  b.AluImm(AluOp::kSub, 3, 3, 1);
+  b.BranchNz(3, loop);
+  b.Halt();
+  vm.kernel->Finalize();
+  return vm;
+}
+
+TEST(HostConfig, DefaultsTrackVulnerability) {
+  EXPECT_TRUE(HostConfig::Defaults(GetCpuModel(Uarch::kBroadwell)).l1d_flush_on_vmentry);
+  EXPECT_TRUE(HostConfig::Defaults(GetCpuModel(Uarch::kBroadwell)).mds_clear_on_vmentry);
+  EXPECT_FALSE(HostConfig::Defaults(GetCpuModel(Uarch::kZen3)).l1d_flush_on_vmentry);
+  EXPECT_TRUE(HostConfig::Defaults(GetCpuModel(Uarch::kCascadeLake)).mds_clear_on_vmentry);
+  EXPECT_FALSE(HostConfig::Defaults(GetCpuModel(Uarch::kCascadeLake)).l1d_flush_on_vmentry);
+}
+
+TEST(Hypervisor, GuestRunsAndExitsCounted) {
+  Vm vm = DiskVm(Uarch::kZen2, MitigationConfig::AllOff(), HostConfig::AllOff(), 5, 64);
+  const auto result = vm.kernel->Run("guest_main");
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(vm.hv->vm_exits(), 5u);
+  EXPECT_EQ(vm.hv->disk_reads(), 5u);
+  EXPECT_EQ(vm.hv->bytes_transferred(), 5u * 64);
+  EXPECT_EQ(vm.kernel->machine().mode(), Mode::kGuestUser);
+}
+
+TEST(Hypervisor, DiskReadDeliversData) {
+  Vm vm = DiskVm(Uarch::kZen2, MitigationConfig::AllOff(), HostConfig::AllOff(), 1, 32);
+  vm.kernel->Run("guest_main");
+  Machine& m = vm.kernel->machine();
+  // Host seeded the disk with 0xD15C000000 + offset.
+  EXPECT_EQ(m.PeekData(kUserDataVaddr), 0xD15C000000ULL);
+  EXPECT_EQ(m.PeekData(kUserDataVaddr + 8), 0xD15C000008ULL);
+}
+
+TEST(Hypervisor, DiskWriteStoresToHostBuffer) {
+  Vm vm;
+  vm.kernel = std::make_unique<Kernel>(GetCpuModel(Uarch::kZen2), MitigationConfig::AllOff());
+  vm.hv = std::make_unique<Hypervisor>(*vm.kernel, HostConfig::AllOff());
+  ProgramBuilder& b = vm.kernel->builder();
+  b.BindSymbol("guest_main");
+  b.MovImm(4, 0xFEED);
+  b.MovImm(5, static_cast<int64_t>(kUserDataVaddr));
+  b.Store(MemRef{.base = 5}, 4);
+  b.MovImm(0, static_cast<int64_t>(kUserDataVaddr));
+  b.MovImm(1, 8);
+  b.MovImm(2, 1);  // write
+  vm.kernel->EmitSyscall(b, kSysDiskIo);
+  b.Halt();
+  vm.kernel->Finalize();
+  vm.kernel->Run("guest_main");
+  Machine& m = vm.kernel->machine();
+  const uint64_t saved = m.cr3();
+  m.SetCr3(vm.kernel->process(0).kernel_cr3);
+  EXPECT_EQ(m.PeekData(kHostDataVaddr), 0xFEEDu);
+  m.SetCr3(saved);
+  EXPECT_EQ(vm.hv->disk_writes(), 1u);
+}
+
+TEST(Hypervisor, L1FlushOnVmentryEvictsL1) {
+  HostConfig host;
+  host.l1d_flush_on_vmentry = true;
+  Vm vm = DiskVm(Uarch::kBroadwell, MitigationConfig::AllOff(), host, 1, 64);
+  vm.kernel->Run("guest_main");
+  Machine& m = vm.kernel->machine();
+  // The host buffer lines the handler touched must not be in L1 afterwards
+  // (the flush ran after the copy, before vmentry).
+  const Translation t =
+      vm.kernel->mapper().Translate(kHostDataVaddr, vm.kernel->process(0).kernel_cr3,
+                                    Mode::kKernel);
+  EXPECT_NE(m.caches().LevelOf(t.paddr), 1);
+}
+
+TEST(Hypervisor, HostMitigationCostScalesWithExitRateNotWork) {
+  // Few exits: host mitigations are cheap relative to total runtime (the
+  // paper's §4.4 conclusion).
+  const Uarch u = Uarch::kBroadwell;
+  Vm cheap = DiskVm(u, MitigationConfig::AllOff(), HostConfig::AllOff(), 10, 4096);
+  Vm protected_vm = DiskVm(u, MitigationConfig::AllOff(), HostConfig::Defaults(GetCpuModel(u)),
+                           10, 4096);
+  const uint64_t base = cheap.kernel->Run("guest_main").cycles;
+  const uint64_t with = protected_vm.kernel->Run("guest_main").cycles;
+  EXPECT_GT(with, base);  // flushes are not free...
+  // ...but the overhead stays moderate because exits are the rare event.
+  EXPECT_LT(with, base * 2);
+}
+
+TEST(Hypervisor, VerwOnVmentryClearsFillBuffers) {
+  // After the verw in the exit handler, no fill buffer may still hold host
+  // disk data — later guest-side fills are fine, host residue is not.
+  HostConfig host;
+  host.mds_clear_on_vmentry = true;
+  Vm vm = DiskVm(Uarch::kSkylakeClient, MitigationConfig::AllOff(), host, 1, 64);
+  vm.kernel->Run("guest_main");
+  EXPECT_FALSE(vm.kernel->machine().fill_buffers().ContainsValue(0xD15C000000ULL));
+
+  Vm unprotected = DiskVm(Uarch::kSkylakeClient, MitigationConfig::AllOff(),
+                          HostConfig::AllOff(), 1, 64);
+  unprotected.kernel->Run("guest_main");
+  EXPECT_TRUE(
+      unprotected.kernel->machine().fill_buffers().ContainsValue(0xD15C000000ULL));
+}
+
+TEST(Hypervisor, GuestSyscallsStayInGuestMode) {
+  // A guest running plain syscalls never exits to the host.
+  Vm vm;
+  vm.kernel = std::make_unique<Kernel>(GetCpuModel(Uarch::kZen2), MitigationConfig::AllOff());
+  vm.hv = std::make_unique<Hypervisor>(*vm.kernel, HostConfig::AllOff());
+  ProgramBuilder& b = vm.kernel->builder();
+  b.BindSymbol("guest_main");
+  Label loop = b.NewLabel();
+  b.MovImm(3, 10);
+  b.Bind(loop);
+  vm.kernel->EmitSyscall(b, Sys::kGetpid);
+  b.AluImm(AluOp::kSub, 3, 3, 1);
+  b.BranchNz(3, loop);
+  b.Halt();
+  vm.kernel->Finalize();
+  vm.kernel->Run("guest_main");
+  EXPECT_EQ(vm.hv->vm_exits(), 0u);
+  EXPECT_EQ(vm.kernel->machine().PmcValue(Pmc::kKernelEntries), 10u);
+}
+
+}  // namespace
+}  // namespace specbench
+
+namespace specbench {
+namespace {
+
+// §4.4's premise: execution primarily stays within the VM, so the *guest's*
+// own mitigation costs look just like bare-metal ones.
+TEST(Hypervisor, GuestMitigationsCostTheSameAsBareMetal) {
+  const Uarch u = Uarch::kBroadwell;
+  const CpuModel& cpu = GetCpuModel(u);
+
+  auto guest_cycles = [&](const MitigationConfig& guest_config) {
+    Vm vm;
+    vm.kernel = std::make_unique<Kernel>(cpu, guest_config);
+    vm.hv = std::make_unique<Hypervisor>(*vm.kernel, HostConfig::AllOff());
+    ProgramBuilder& b = vm.kernel->builder();
+    b.BindSymbol("guest_main");
+    Label loop = b.NewLabel();
+    b.MovImm(3, 40);
+    b.Bind(loop);
+    vm.kernel->EmitSyscall(b, Sys::kGetpid);
+    b.AluImm(AluOp::kSub, 3, 3, 1);
+    b.BranchNz(3, loop);
+    b.Halt();
+    vm.kernel->Finalize();
+    return static_cast<double>(vm.kernel->Run("guest_main").cycles);
+  };
+  auto bare_cycles = [&](const MitigationConfig& config) {
+    Kernel kernel(cpu, config);
+    ProgramBuilder& b = kernel.builder();
+    b.BindSymbol("user_main");
+    Label loop = b.NewLabel();
+    b.MovImm(3, 40);
+    b.Bind(loop);
+    kernel.EmitSyscall(b, Sys::kGetpid);
+    b.AluImm(AluOp::kSub, 3, 3, 1);
+    b.BranchNz(3, loop);
+    b.Halt();
+    kernel.Finalize();
+    return static_cast<double>(kernel.Run("user_main").cycles);
+  };
+
+  const double guest_ratio = guest_cycles(MitigationConfig::Defaults(cpu)) /
+                             guest_cycles(MitigationConfig::AllOff());
+  const double bare_ratio =
+      bare_cycles(MitigationConfig::Defaults(cpu)) / bare_cycles(MitigationConfig::AllOff());
+  EXPECT_NEAR(guest_ratio, bare_ratio, 0.03);
+}
+
+TEST(Hypervisor, GuestPtiSwitchesGuestPageTables) {
+  // The guest kernel's own PTI works inside the VM: guest syscalls swap the
+  // guest cr3 through the same percpu trampoline.
+  MitigationConfig guest = MitigationConfig::AllOff();
+  guest.pti = true;
+  Vm vm = DiskVm(Uarch::kBroadwell, guest, HostConfig::AllOff(), 1, 64);
+  const Process& p0 = vm.kernel->process(0);
+  EXPECT_NE(p0.user_cr3, p0.kernel_cr3);
+  vm.kernel->Run("guest_main");
+  // Back in guest user mode on the user page tables.
+  EXPECT_EQ(vm.kernel->machine().cr3(), p0.user_cr3);
+  EXPECT_EQ(vm.kernel->machine().mode(), Mode::kGuestUser);
+}
+
+TEST(Hypervisor, ExitCountScalesWithIoCount) {
+  for (int io_count : {1, 7, 23}) {
+    Vm vm = DiskVm(Uarch::kZen2, MitigationConfig::AllOff(), HostConfig::AllOff(),
+                   io_count, 128);
+    vm.kernel->Run("guest_main");
+    EXPECT_EQ(vm.hv->vm_exits(), static_cast<uint64_t>(io_count));
+  }
+}
+
+TEST(Hypervisor, HostFlushCostChargedPerExit) {
+  // Total cycles with L1-flush-on-entry grow linearly in the exit count.
+  HostConfig host;
+  host.l1d_flush_on_vmentry = true;
+  auto cycles_for = [&](int io_count, const HostConfig& config) {
+    Vm vm = DiskVm(Uarch::kBroadwell, MitigationConfig::AllOff(), config, io_count, 64);
+    return static_cast<double>(vm.kernel->Run("guest_main").cycles);
+  };
+  const double delta_8 = cycles_for(8, host) - cycles_for(8, HostConfig::AllOff());
+  const double delta_16 = cycles_for(16, host) - cycles_for(16, HostConfig::AllOff());
+  // Twice the exits: roughly twice the mitigation cost (within cache noise).
+  EXPECT_NEAR(delta_16 / delta_8, 2.0, 0.8);
+}
+
+}  // namespace
+}  // namespace specbench

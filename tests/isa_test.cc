@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/program.h"
+
+namespace specbench {
+namespace {
+
+TEST(ProgramBuilder, EmitsAndBuilds) {
+  ProgramBuilder b;
+  b.MovImm(0, 42);
+  b.Halt();
+  Program p = b.Build();
+  ASSERT_EQ(p.size(), 2);
+  EXPECT_EQ(p.at(0).op, Op::kMovImm);
+  EXPECT_EQ(p.at(0).imm, 42);
+  EXPECT_EQ(p.at(1).op, Op::kHalt);
+}
+
+TEST(ProgramBuilder, LabelResolution) {
+  ProgramBuilder b;
+  Label loop = b.NewLabel();
+  b.MovImm(0, 3);
+  b.Bind(loop);
+  b.AluImm(AluOp::kSub, 0, 0, 1);
+  b.BranchNz(0, loop);
+  b.Halt();
+  Program p = b.Build();
+  EXPECT_EQ(p.at(2).target, 1);  // branch back to the bound position
+}
+
+TEST(ProgramBuilder, ForwardLabel) {
+  ProgramBuilder b;
+  Label skip = b.NewLabel();
+  b.Jmp(skip);
+  b.Nop();
+  b.Bind(skip);
+  b.Halt();
+  Program p = b.Build();
+  EXPECT_EQ(p.at(0).target, 2);
+}
+
+TEST(Program, VaddrRoundTrip) {
+  ProgramBuilder b;
+  for (int i = 0; i < 10; i++) {
+    b.Nop();
+  }
+  b.Halt();
+  Program p = b.Build(0x1000);
+  for (int32_t i = 0; i < p.size(); i++) {
+    EXPECT_EQ(p.IndexOf(p.VaddrOf(i)), i);
+  }
+}
+
+TEST(Program, IndexOfRejectsOutside) {
+  ProgramBuilder b;
+  b.Halt();
+  Program p = b.Build(0x1000);
+  EXPECT_EQ(p.IndexOf(0x0), -1);
+  EXPECT_EQ(p.IndexOf(0x1002), -1);   // misaligned
+  EXPECT_EQ(p.IndexOf(0x1004), -1);   // past the end
+  EXPECT_TRUE(p.ContainsVaddr(0x1000));
+  EXPECT_FALSE(p.ContainsVaddr(0x2000));
+}
+
+TEST(Program, Symbols) {
+  ProgramBuilder b;
+  b.Nop();
+  b.BindSymbol("entry");
+  b.Halt();
+  Program p = b.Build(0x4000);
+  EXPECT_TRUE(p.HasSymbol("entry"));
+  EXPECT_FALSE(p.HasSymbol("missing"));
+  EXPECT_EQ(p.SymbolIndex("entry"), 1);
+  EXPECT_EQ(p.SymbolVaddr("entry"), 0x4000u + kInstructionBytes);
+}
+
+TEST(Program, MemRefFields) {
+  ProgramBuilder b;
+  b.Load(3, MemRef{.base = 1, .index = 2, .scale = 8, .disp = 0x100});
+  b.Halt();
+  Program p = b.Build();
+  const Instruction& in = p.at(0);
+  EXPECT_EQ(in.mem.base, 1);
+  EXPECT_EQ(in.mem.index, 2);
+  EXPECT_EQ(in.mem.scale, 8);
+  EXPECT_EQ(in.mem.disp, 0x100);
+}
+
+TEST(OpName, CoversRepresentativeOps) {
+  EXPECT_STREQ(OpName(Op::kVerw), "verw");
+  EXPECT_STREQ(OpName(Op::kMovCr3), "mov_cr3");
+  EXPECT_STREQ(OpName(Op::kRsbStuff), "rsb_stuff");
+  EXPECT_STREQ(OpName(Op::kKcall), "kcall");
+}
+
+TEST(ModeHelpers, KernelModes) {
+  EXPECT_TRUE(IsKernelMode(Mode::kKernel));
+  EXPECT_TRUE(IsKernelMode(Mode::kHost));
+  EXPECT_TRUE(IsKernelMode(Mode::kGuestKernel));
+  EXPECT_FALSE(IsKernelMode(Mode::kUser));
+  EXPECT_FALSE(IsKernelMode(Mode::kGuestUser));
+}
+
+}  // namespace
+}  // namespace specbench

@@ -1,0 +1,335 @@
+// JIT model: mitigated and unmitigated code must compute identical results;
+// index masking must block the Spectre V1 leak inside JIT-compiled code.
+#include <gtest/gtest.h>
+
+#include "src/cpu/cpu_model.h"
+#include "src/jit/jit.h"
+
+namespace specbench {
+namespace {
+
+constexpr uint64_t kHeapBase = 0x10000000;
+constexpr uint64_t kProbeBase = 0x30000000;
+
+struct JitRun {
+  Machine machine;
+  Program program;
+  explicit JitRun(Uarch u) : machine(GetCpuModel(u)) {}
+};
+
+TEST(JsEmitter, GetElemInBounds) {
+  for (const JitConfig& config : {JitConfig::AllOn(), JitConfig::AllOff()}) {
+    JitRun run(Uarch::kZen2);
+    ProgramBuilder b;
+    JsEmitter js(b, config);
+    js.GetElem(/*dst=*/2, /*array=*/0, /*idx=*/1);
+    b.Halt();
+    run.program = b.Build();
+    run.machine.LoadProgram(&run.program);
+    JsHeap heap(kHeapBase, 1 << 16);
+    const uint64_t arr = heap.AllocArray(run.machine, {10, 20, 30});
+    run.machine.SetReg(0, arr);
+    run.machine.SetReg(1, 2);
+    run.machine.Run(run.program.VaddrOf(0));
+    EXPECT_EQ(run.machine.reg(2), 30u);
+  }
+}
+
+TEST(JsEmitter, GetElemOutOfBoundsYieldsZero) {
+  for (const JitConfig& config : {JitConfig::AllOn(), JitConfig::AllOff()}) {
+    JitRun run(Uarch::kZen2);
+    ProgramBuilder b;
+    JsEmitter js(b, config);
+    js.GetElem(2, 0, 1);
+    b.Halt();
+    run.program = b.Build();
+    run.machine.LoadProgram(&run.program);
+    JsHeap heap(kHeapBase, 1 << 16);
+    const uint64_t arr = heap.AllocArray(run.machine, {10, 20, 30});
+    run.machine.SetReg(0, arr);
+    run.machine.SetReg(1, 99);
+    run.machine.SetReg(2, 0xFFFF);
+    run.machine.Run(run.program.VaddrOf(0));
+    EXPECT_EQ(run.machine.reg(2), 0u);
+  }
+}
+
+TEST(JsEmitter, SetElemWritesInBoundsOnly) {
+  JitRun run(Uarch::kZen2);
+  ProgramBuilder b;
+  JsEmitter js(b, JitConfig::AllOn());
+  js.SetElem(0, 1, 2);
+  b.Halt();
+  run.program = b.Build();
+  run.machine.LoadProgram(&run.program);
+  JsHeap heap(kHeapBase, 1 << 16);
+  const uint64_t arr = heap.AllocArray(run.machine, {1, 2, 3});
+  run.machine.SetReg(0, arr);
+  run.machine.SetReg(1, 1);
+  run.machine.SetReg(2, 42);
+  run.machine.Run(run.program.VaddrOf(0));
+  EXPECT_EQ(run.machine.PeekData(arr + kArrayElemsOffset + 8), 42u);
+}
+
+TEST(JsEmitter, SetElemOutOfBoundsIsNoop) {
+  JitRun run(Uarch::kZen2);
+  ProgramBuilder b;
+  JsEmitter js(b, JitConfig::AllOff());
+  js.SetElem(0, 1, 2);
+  b.Halt();
+  run.program = b.Build();
+  run.machine.LoadProgram(&run.program);
+  JsHeap heap(kHeapBase, 1 << 16);
+  const uint64_t arr = heap.AllocArray(run.machine, {1, 2, 3});
+  run.machine.SetReg(0, arr);
+  run.machine.SetReg(1, 50);
+  run.machine.SetReg(2, 42);
+  run.machine.Run(run.program.VaddrOf(0));
+  for (int i = 0; i < 3; i++) {
+    EXPECT_EQ(run.machine.PeekData(arr + kArrayElemsOffset + 8 * i),
+              static_cast<uint64_t>(i + 1));
+  }
+}
+
+TEST(JsEmitter, GetFieldWithMatchingShape) {
+  for (const JitConfig& config : {JitConfig::AllOn(), JitConfig::AllOff()}) {
+    JitRun run(Uarch::kIceLakeServer);
+    ProgramBuilder b;
+    JsEmitter js(b, config);
+    js.GetField(/*dst=*/2, /*obj=*/0, /*field=*/1, /*shape=*/7);
+    b.Halt();
+    run.program = b.Build();
+    run.machine.LoadProgram(&run.program);
+    JsHeap heap(kHeapBase, 1 << 16);
+    const uint64_t obj = heap.AllocObject(run.machine, 7, {100, 200});
+    run.machine.SetReg(0, obj);
+    run.machine.Run(run.program.VaddrOf(0));
+    EXPECT_EQ(run.machine.reg(2), 200u);
+  }
+}
+
+TEST(JsEmitter, GetFieldShapeMismatchYieldsZero) {
+  JitRun run(Uarch::kIceLakeServer);
+  ProgramBuilder b;
+  JsEmitter js(b, JitConfig::AllOn());
+  js.GetField(2, 0, 0, /*shape=*/7);
+  b.Halt();
+  run.program = b.Build();
+  run.machine.LoadProgram(&run.program);
+  JsHeap heap(kHeapBase, 1 << 16);
+  const uint64_t obj = heap.AllocObject(run.machine, /*shape=*/9, {100});
+  run.machine.SetReg(0, obj);
+  run.machine.SetReg(2, 1);
+  run.machine.Run(run.program.VaddrOf(0));
+  EXPECT_EQ(run.machine.reg(2), 0u);
+}
+
+TEST(JsEmitter, SetFieldGuarded) {
+  JitRun run(Uarch::kZen3);
+  ProgramBuilder b;
+  JsEmitter js(b, JitConfig::AllOn());
+  js.SetField(0, 0, /*shape=*/3, /*src=*/2);
+  b.Halt();
+  run.program = b.Build();
+  run.machine.LoadProgram(&run.program);
+  JsHeap heap(kHeapBase, 1 << 16);
+  const uint64_t obj = heap.AllocObject(run.machine, 3, {0});
+  run.machine.SetReg(0, obj);
+  run.machine.SetReg(2, 55);
+  run.machine.Run(run.program.VaddrOf(0));
+  EXPECT_EQ(run.machine.PeekData(obj + kObjectFieldsOffset), 55u);
+}
+
+TEST(JsEmitter, PoisonedPointerRoundTrip) {
+  JitRun run(Uarch::kZen2);
+  const JitConfig config = JitConfig::AllOn();
+  ProgramBuilder b;
+  JsEmitter js(b, config);
+  js.LoadHeapPtr(/*dst=*/2, /*base=*/0, /*disp=*/0);
+  b.Load(3, MemRef{.base = 2});  // chase the unpoisoned pointer
+  b.Halt();
+  run.program = b.Build();
+  run.machine.LoadProgram(&run.program);
+  JsHeap heap(kHeapBase, 1 << 16);
+  const uint64_t target = heap.AllocArray(run.machine, {77});
+  constexpr uint64_t kSlot = kHeapBase + 0x8000;
+  heap.StorePtr(run.machine, kSlot, target + kArrayElemsOffset, config);
+  // Raw slot contents must NOT be the plain pointer.
+  EXPECT_NE(run.machine.PeekData(kSlot), target + kArrayElemsOffset);
+  run.machine.SetReg(0, kSlot);
+  run.machine.Run(run.program.VaddrOf(0));
+  EXPECT_EQ(run.machine.reg(3), 77u);
+}
+
+TEST(JsEmitter, MitigationInstructionCounting) {
+  ProgramBuilder b_on;
+  JsEmitter on(b_on, JitConfig::AllOn());
+  on.GetElem(2, 0, 1);
+  on.GetField(3, 0, 0, 7);
+  on.LoadHeapPtr(4, 0, 0);
+  EXPECT_GE(on.mitigation_instructions(), 5);
+
+  ProgramBuilder b_off;
+  JsEmitter off(b_off, JitConfig::AllOff());
+  off.GetElem(2, 0, 1);
+  off.GetField(3, 0, 0, 7);
+  off.LoadHeapPtr(4, 0, 0);
+  EXPECT_EQ(off.mitigation_instructions(), 0);
+}
+
+TEST(JsEmitter, MitigatedCodeIsLarger) {
+  ProgramBuilder b_on;
+  JsEmitter on(b_on, JitConfig::AllOn());
+  on.GetElem(2, 0, 1);
+  ProgramBuilder b_off;
+  JsEmitter off(b_off, JitConfig::AllOff());
+  off.GetElem(2, 0, 1);
+  EXPECT_GT(b_on.NextIndex(), b_off.NextIndex());
+}
+
+// The security property: a Spectre V1 attack written against JIT-compiled
+// array code leaks without index masking and not with it.
+bool RunJitSpectre(Uarch uarch, bool masking) {
+  JitConfig config = JitConfig::AllOff();
+  config.index_masking = masking;
+  Machine m(GetCpuModel(uarch));
+  ProgramBuilder b;
+  JsEmitter js(b, config);
+  // Attacker JS: x = a[i]; y = probe[x * 4096] — via two GetElems.
+  js.GetElem(/*dst=*/2, /*array=*/0, /*idx=*/1);
+  b.AluImm(AluOp::kShl, 3, 2, 9);  // element index stride 512 (*8 = 4096B)
+  js.GetElem(/*dst=*/4, /*array=*/5, /*idx=*/3);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+
+  JsHeap heap(kHeapBase, 1 << 20);
+  const uint64_t arr = heap.AllocArrayN(m, 16, 0);
+  // The "secret" sits past the end of arr.
+  const uint64_t secret = 3;
+  m.PokeData(arr + kArrayElemsOffset + 8 * 20, secret);
+  // A big probe array the second access indexes into.
+  m.PokeData(kProbeBase + kArrayLengthOffset, 1 << 12);  // huge length
+  m.SetReg(5, kProbeBase);
+
+  // Train both bounds checks in-bounds.
+  for (int i = 0; i < 6; i++) {
+    m.SetReg(0, arr);
+    m.SetReg(1, static_cast<uint64_t>(i % 16));
+    m.Run(p.VaddrOf(0));
+  }
+  // Attack: flush the length so the check resolves late; use index 20.
+  m.caches().Clflush(arr + kArrayLengthOffset);
+  const uint64_t probe_line = kProbeBase + kArrayElemsOffset + secret * 512 * 8;
+  m.caches().Clflush(probe_line);
+  m.SetReg(0, arr);
+  m.SetReg(1, 20);
+  m.Run(p.VaddrOf(0));
+  return m.caches().LevelOf(probe_line) != 0;
+}
+
+TEST(JitSpectre, LeaksWithoutIndexMasking) {
+  for (Uarch u : AllUarches()) {
+    EXPECT_TRUE(RunJitSpectre(u, /*masking=*/false)) << UarchName(u);
+  }
+}
+
+TEST(JitSpectre, IndexMaskingStopsTheLeak) {
+  for (Uarch u : AllUarches()) {
+    EXPECT_FALSE(RunJitSpectre(u, /*masking=*/true)) << UarchName(u);
+  }
+}
+
+TEST(JsHeap, AllocationLayout) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  JsHeap heap(kHeapBase, 4096);
+  const uint64_t a = heap.AllocArray(m, {5, 6});
+  const uint64_t b = heap.AllocArray(m, {7});
+  EXPECT_EQ(b, a + 24);  // 8 (len) + 16 (elems)
+  EXPECT_EQ(m.PeekData(a), 2u);
+  EXPECT_EQ(m.PeekData(a + 8), 5u);
+  EXPECT_EQ(heap.bytes_used(), 40u);
+}
+
+TEST(JsHeapDeathTest, ExhaustionAborts) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  JsHeap heap(kHeapBase, 16);
+  EXPECT_DEATH(heap.AllocArray(m, {1, 2, 3, 4}), "exhausted");
+}
+
+}  // namespace
+}  // namespace specbench
+
+namespace specbench {
+namespace {
+
+TEST(Slh, HardenedCodeComputesSameResults) {
+  JitRun run(Uarch::kIceLakeServer);
+  ProgramBuilder b;
+  JsEmitter js(b, JitConfig::SlhOnly());
+  js.SlhPrologue();
+  js.GetElem(2, 0, 1);
+  js.GetField(3, 4, 0, 7);
+  b.Halt();
+  run.program = b.Build();
+  run.machine.LoadProgram(&run.program);
+  JsHeap heap(kHeapBase, 1 << 16);
+  const uint64_t arr = heap.AllocArray(run.machine, {10, 20, 30});
+  const uint64_t obj = heap.AllocObject(run.machine, 7, {111});
+  run.machine.SetReg(0, arr);
+  run.machine.SetReg(1, 1);
+  run.machine.SetReg(4, obj);
+  run.machine.Run(run.program.VaddrOf(0));
+  EXPECT_EQ(run.machine.reg(2), 20u);
+  EXPECT_EQ(run.machine.reg(3), 111u);
+}
+
+TEST(Slh, BlocksJitSpectreWithoutIndexMasking) {
+  // SLH alone (no index masking) must stop the bounds-check-bypass leak:
+  // the hardened base pointer data-depends on the (slow) bounds check.
+  for (Uarch u : {Uarch::kSkylakeClient, Uarch::kZen3}) {
+    JitConfig config = JitConfig::SlhOnly();
+    Machine m(GetCpuModel(u));
+    ProgramBuilder b;
+    JsEmitter js(b, config);
+    js.SlhPrologue();
+    js.GetElem(2, 0, 1);
+    b.AluImm(AluOp::kShl, 3, 2, 9);
+    js.GetElem(4, 5, 3);
+    b.Halt();
+    Program p = b.Build();
+    m.LoadProgram(&p);
+    JsHeap heap(kHeapBase, 1 << 20);
+    const uint64_t arr = heap.AllocArrayN(m, 16, 0);
+    const uint64_t secret = 3;
+    m.PokeData(arr + kArrayElemsOffset + 8 * 20, secret);
+    m.PokeData(kProbeBase + kArrayLengthOffset, 1 << 12);
+    m.SetReg(5, kProbeBase);
+    for (int i = 0; i < 6; i++) {
+      m.SetReg(0, arr);
+      m.SetReg(1, static_cast<uint64_t>(i % 16));
+      m.Run(p.VaddrOf(0));
+    }
+    m.caches().Clflush(arr + kArrayLengthOffset);
+    const uint64_t probe_line = kProbeBase + kArrayElemsOffset + secret * 512 * 8;
+    m.caches().Clflush(probe_line);
+    m.SetReg(0, arr);
+    m.SetReg(1, 20);
+    m.Run(p.VaddrOf(0));
+    EXPECT_EQ(m.caches().LevelOf(probe_line), 0) << UarchName(u);
+  }
+}
+
+TEST(Slh, CostsMoreThanTargetedMitigations) {
+  ProgramBuilder b_slh;
+  JsEmitter slh(b_slh, JitConfig::SlhOnly());
+  slh.SlhPrologue();
+  slh.GetElem(2, 0, 1);
+  slh.GetField(3, 4, 0, 7);
+  slh.LoadHeapPtr(6, 4, 8);
+  // SLH hardens every access including the plain pointer load.
+  EXPECT_GE(slh.mitigation_instructions(), 6);
+}
+
+}  // namespace
+}  // namespace specbench

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/os/mitigation_config.h"
+
+namespace specbench {
+namespace {
+
+TEST(Defaults, Table1PerCpu) {
+  // Broadwell: PTI + MDS clear + generic retpoline.
+  {
+    const MitigationConfig c = MitigationConfig::Defaults(GetCpuModel(Uarch::kBroadwell));
+    EXPECT_TRUE(c.pti);
+    EXPECT_TRUE(c.mds_clear_buffers);
+    EXPECT_EQ(c.retpoline, RetpolineMode::kGeneric);
+    EXPECT_EQ(c.ibrs, IbrsMode::kOff);
+    EXPECT_TRUE(c.l1tf_pte_inversion);
+  }
+  // Cascade Lake: no PTI, still MDS clear, eIBRS instead of retpolines.
+  {
+    const MitigationConfig c = MitigationConfig::Defaults(GetCpuModel(Uarch::kCascadeLake));
+    EXPECT_FALSE(c.pti);
+    EXPECT_TRUE(c.mds_clear_buffers);
+    EXPECT_EQ(c.retpoline, RetpolineMode::kNone);
+    EXPECT_EQ(c.ibrs, IbrsMode::kEibrs);
+    EXPECT_FALSE(c.l1tf_pte_inversion);
+  }
+  // Zen 2: AMD retpoline, nothing Meltdown/MDS related.
+  {
+    const MitigationConfig c = MitigationConfig::Defaults(GetCpuModel(Uarch::kZen2));
+    EXPECT_FALSE(c.pti);
+    EXPECT_FALSE(c.mds_clear_buffers);
+    EXPECT_EQ(c.retpoline, RetpolineMode::kAmd);
+  }
+  // Common rows of Table 1: every CPU gets these.
+  for (Uarch u : AllUarches()) {
+    const MitigationConfig c = MitigationConfig::Defaults(GetCpuModel(u));
+    EXPECT_TRUE(c.eager_fpu) << UarchName(u);
+    EXPECT_TRUE(c.lfence_after_swapgs) << UarchName(u);
+    EXPECT_TRUE(c.kernel_index_masking) << UarchName(u);
+    EXPECT_TRUE(c.ibpb_on_context_switch) << UarchName(u);
+    EXPECT_TRUE(c.rsb_stuff_on_context_switch) << UarchName(u);
+    EXPECT_EQ(c.ssbd, SsbdMode::kSeccomp) << UarchName(u);   // "!" row
+    EXPECT_FALSE(c.smt_off) << UarchName(u);                  // "!" row
+  }
+}
+
+TEST(AllOff, DisablesEverythingButEagerFpu) {
+  const MitigationConfig c = MitigationConfig::AllOff();
+  EXPECT_FALSE(c.pti);
+  EXPECT_FALSE(c.mds_clear_buffers);
+  EXPECT_EQ(c.retpoline, RetpolineMode::kNone);
+  EXPECT_EQ(c.ibrs, IbrsMode::kOff);
+  EXPECT_FALSE(c.ibpb_on_context_switch);
+  EXPECT_FALSE(c.kernel_index_masking);
+  EXPECT_EQ(c.ssbd, SsbdMode::kOff);
+  EXPECT_TRUE(c.eager_fpu);  // Linux keeps eager FPU regardless
+}
+
+TEST(BootParams, IndividualToggles) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  MitigationConfig c = MitigationConfig::Defaults(cpu);
+  EXPECT_TRUE(ApplyBootParam(&c, cpu, "nopti"));
+  EXPECT_FALSE(c.pti);
+  EXPECT_TRUE(ApplyBootParam(&c, cpu, "mds=off"));
+  EXPECT_FALSE(c.mds_clear_buffers);
+  EXPECT_TRUE(ApplyBootParam(&c, cpu, "nospectre_v2"));
+  EXPECT_EQ(c.retpoline, RetpolineMode::kNone);
+  EXPECT_FALSE(c.ibpb_on_context_switch);
+  EXPECT_TRUE(ApplyBootParam(&c, cpu, "spec_store_bypass_disable=on"));
+  EXPECT_EQ(c.ssbd, SsbdMode::kAlways);
+}
+
+TEST(BootParams, MitigationsOffResets) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
+  MitigationConfig c = MitigationConfig::Defaults(cpu);
+  EXPECT_TRUE(ApplyBootParam(&c, cpu, "mitigations=off"));
+  EXPECT_FALSE(c.pti);
+  EXPECT_EQ(c.retpoline, RetpolineMode::kNone);
+}
+
+TEST(BootParams, UnknownTokenRejected) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kZen1);
+  MitigationConfig c = MitigationConfig::Defaults(cpu);
+  const MitigationConfig before = c;
+  EXPECT_FALSE(ApplyBootParam(&c, cpu, "bogus=thing"));
+  EXPECT_EQ(c.pti, before.pti);
+}
+
+TEST(BootParams, IbrsUnsupportedOnZen1) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kZen1);
+  MitigationConfig c = MitigationConfig::Defaults(cpu);
+  EXPECT_FALSE(ApplyBootParam(&c, cpu, "spectre_v2=ibrs"));
+}
+
+TEST(BootParams, IbrsSelectsEibrsOnCapableParts) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kIceLakeServer);
+  MitigationConfig c = MitigationConfig::Defaults(cpu);
+  EXPECT_TRUE(ApplyBootParam(&c, cpu, "spectre_v2=ibrs"));
+  EXPECT_EQ(c.ibrs, IbrsMode::kEibrs);
+}
+
+TEST(BootParams, CmdlineComposition) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  const MitigationConfig c = ConfigFromCmdline(cpu, {"nopti", "mds=off"});
+  EXPECT_FALSE(c.pti);
+  EXPECT_FALSE(c.mds_clear_buffers);
+  EXPECT_EQ(c.retpoline, RetpolineMode::kGeneric);  // untouched default
+}
+
+TEST(Mitigates, GroundTruthHelpers) {
+  const CpuModel& broadwell = GetCpuModel(Uarch::kBroadwell);
+  MitigationConfig c = MitigationConfig::Defaults(broadwell);
+  EXPECT_TRUE(c.MitigatesMeltdown(broadwell));
+  c.pti = false;
+  EXPECT_FALSE(c.MitigatesMeltdown(broadwell));
+  // A CPU that is not vulnerable is mitigated regardless.
+  EXPECT_TRUE(MitigationConfig::AllOff().MitigatesMeltdown(GetCpuModel(Uarch::kZen3)));
+}
+
+TEST(Describe, MentionsKeyKnobs) {
+  const std::string s =
+      MitigationConfig::Defaults(GetCpuModel(Uarch::kBroadwell)).Describe();
+  EXPECT_NE(s.find("pti=on"), std::string::npos);
+  EXPECT_NE(s.find("retpoline=generic"), std::string::npos);
+}
+
+TEST(Names, EnumToString) {
+  EXPECT_STREQ(RetpolineModeName(RetpolineMode::kAmd), "amd");
+  EXPECT_STREQ(IbrsModeName(IbrsMode::kEibrs), "eibrs");
+  EXPECT_STREQ(SsbdModeName(SsbdMode::kSeccomp), "seccomp");
+}
+
+}  // namespace
+}  // namespace specbench

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/os/paging.h"
+
+namespace specbench {
+namespace {
+
+TEST(PhysAllocator, PageAlignedBump) {
+  PhysAllocator alloc(0x1000);
+  const uint64_t a = alloc.Alloc(100);
+  const uint64_t b = alloc.Alloc(kPageBytes + 1);
+  const uint64_t c = alloc.Alloc(8);
+  EXPECT_EQ(a, 0x1000u);
+  EXPECT_EQ(b, 0x2000u);
+  EXPECT_EQ(c, 0x4000u);
+}
+
+TEST(PageMapper, BasicTranslation) {
+  PageMapper m;
+  m.AddRegion(1, 0x10000, 0x2000, 0x90000, /*user=*/true);
+  const Translation t = m.Translate(0x10808, 1, Mode::kUser);
+  EXPECT_TRUE(t.valid);
+  EXPECT_EQ(t.paddr, 0x90808u);
+}
+
+TEST(PageMapper, UnmappedIsInvalid) {
+  PageMapper m;
+  const Translation t = m.Translate(0x10000, 1, Mode::kKernel);
+  EXPECT_FALSE(t.valid);
+  EXPECT_FALSE(t.mapped);
+}
+
+TEST(PageMapper, AsidIsolation) {
+  PageMapper m;
+  m.AddRegion(1, 0x10000, 0x1000, 0x90000, true);
+  EXPECT_TRUE(m.Translate(0x10000, 1, Mode::kUser).valid);
+  EXPECT_FALSE(m.Translate(0x10000, 2, Mode::kUser).mapped);
+}
+
+TEST(PageMapper, SupervisorOnlyBlocksUserButNotKernel) {
+  PageMapper m;
+  m.AddRegion(1, 0x80000000, 0x1000, 0xA0000, /*user=*/false);
+  const Translation user = m.Translate(0x80000000, 1, Mode::kUser);
+  EXPECT_FALSE(user.valid);
+  EXPECT_TRUE(user.mapped);            // the Meltdown surface
+  EXPECT_FALSE(user.user_accessible);
+  EXPECT_TRUE(m.Translate(0x80000000, 1, Mode::kKernel).valid);
+}
+
+TEST(PageMapper, GuestUserIsUserLike) {
+  PageMapper m;
+  m.AddRegion(1, 0x80000000, 0x1000, 0xA0000, /*user=*/false);
+  EXPECT_FALSE(m.Translate(0x80000000, 1, Mode::kGuestUser).valid);
+  EXPECT_TRUE(m.Translate(0x80000000, 1, Mode::kGuestKernel).valid);
+}
+
+TEST(PageMapper, NonPresentKeepsPaddr) {
+  // The L1TF ingredient: a non-present PTE with a stale physical address.
+  PageMapper m;
+  m.AddRegion(1, 0x10000, 0x1000, 0x90000, true);
+  EXPECT_TRUE(m.SetPresent(1, 0x10000, false));
+  const Translation t = m.Translate(0x10000, 1, Mode::kKernel);
+  EXPECT_FALSE(t.valid);
+  EXPECT_TRUE(t.mapped);
+  EXPECT_FALSE(t.present);
+  EXPECT_EQ(t.paddr, 0x90000u);
+}
+
+TEST(PageMapper, RemoveRegion) {
+  PageMapper m;
+  m.AddRegion(1, 0x10000, 0x1000, 0x90000, true);
+  EXPECT_TRUE(m.RemoveRegion(1, 0x10000));
+  EXPECT_FALSE(m.IsMapped(1, 0x10000));
+  EXPECT_FALSE(m.RemoveRegion(1, 0x10000));
+}
+
+TEST(PageMapper, AdjacentRegionsResolveCorrectly) {
+  PageMapper m;
+  m.AddRegion(1, 0x10000, 0x1000, 0x90000, true);
+  m.AddRegion(1, 0x11000, 0x1000, 0xB0000, true);
+  EXPECT_EQ(m.Translate(0x10FF8, 1, Mode::kUser).paddr, 0x90FF8u);
+  EXPECT_EQ(m.Translate(0x11000, 1, Mode::kUser).paddr, 0xB0000u);
+}
+
+TEST(PageMapper, RegionCount) {
+  PageMapper m;
+  EXPECT_EQ(m.RegionCount(1), 0u);
+  m.AddRegion(1, 0x10000, 0x1000, 0x90000, true);
+  m.AddRegion(1, 0x20000, 0x1000, 0x91000, true);
+  EXPECT_EQ(m.RegionCount(1), 2u);
+}
+
+TEST(PageMapperDeathTest, OverlapAborts) {
+  PageMapper m;
+  m.AddRegion(1, 0x10000, 0x2000, 0x90000, true);
+  EXPECT_DEATH(m.AddRegion(1, 0x11000, 0x1000, 0xC0000, true), "overlap");
+}
+
+}  // namespace
+}  // namespace specbench

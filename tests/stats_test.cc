@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/sampler.h"
+#include "src/stats/summary.h"
+#include "src/util/rng.h"
+
+namespace specbench {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroCi) {
+  RunningStats s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_TRUE(std::isinf(s.relative_ci95()));
+}
+
+TEST(RunningStats, IdenticalSamplesHaveZeroCi) {
+  RunningStats s;
+  for (int i = 0; i < 10; i++) {
+    s.Add(3.0);
+  }
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.relative_ci95(), 0.0);
+}
+
+TEST(TCritical, KnownValues) {
+  EXPECT_NEAR(TCritical95(1), 12.706, 1e-3);
+  EXPECT_NEAR(TCritical95(9), 2.262, 1e-3);
+  EXPECT_NEAR(TCritical95(1000), 1.96, 1e-3);
+}
+
+TEST(TCritical, MonotonicallyDecreasing) {
+  for (size_t dof = 1; dof < 200; dof++) {
+    EXPECT_GE(TCritical95(dof), TCritical95(dof + 1));
+  }
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(GeometricMean, InvariantUnderScaling) {
+  const double g1 = GeometricMean({1.0, 2.0, 3.0, 4.0});
+  const double g2 = GeometricMean({2.0, 4.0, 6.0, 8.0});
+  EXPECT_NEAR(g2, 2.0 * g1, 1e-12);
+}
+
+TEST(RelativeOverhead, TenPercent) {
+  const Estimate slow{110.0, 0.0};
+  const Estimate fast{100.0, 0.0};
+  const Estimate overhead = RelativeOverheadPercent(slow, fast);
+  EXPECT_NEAR(overhead.value, 10.0, 1e-9);
+  EXPECT_NEAR(overhead.ci95, 0.0, 1e-9);
+}
+
+TEST(RelativeOverhead, PropagatesError) {
+  const Estimate slow{110.0, 1.1};   // 1% relative
+  const Estimate fast{100.0, 1.0};   // 1% relative
+  const Estimate overhead = RelativeOverheadPercent(slow, fast);
+  // ratio err = 1.1 * sqrt(2)/100 => ~1.56 percentage points
+  EXPECT_NEAR(overhead.ci95, 1.1 * std::sqrt(2.0), 0.01);
+}
+
+TEST(Sampler, ConvergesOnLowNoise) {
+  Rng rng(123);
+  const SampleResult result = SampleUntilConverged(
+      [&] { return 100.0 + rng.NextGaussian() * 0.5; });
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.estimate.value, 100.0, 0.5);
+  EXPECT_LT(result.samples, 200u);
+}
+
+TEST(Sampler, HitsMaxSamplesOnHighNoise) {
+  Rng rng(77);
+  SamplerOptions options;
+  options.max_samples = 12;
+  options.target_relative_ci = 1e-6;
+  const SampleResult result = SampleUntilConverged(
+      [&] { return 100.0 + rng.NextGaussian() * 30.0; }, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.samples, 12u);
+}
+
+TEST(Sampler, RespectsMinSamples) {
+  int calls = 0;
+  SamplerOptions options;
+  options.min_samples = 7;
+  const SampleResult result = SampleUntilConverged(
+      [&] {
+        calls++;
+        return 5.0;  // zero variance: converges at min_samples
+      },
+      options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(Sampler, CiCoversTrueMeanUsually) {
+  // Property check of the methodology: across many repetitions, the 95% CI
+  // should contain the true mean roughly 95% of the time.
+  Rng rng(2024);
+  int covered = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; trial++) {
+    SamplerOptions options;
+    options.min_samples = 20;
+    options.max_samples = 20;  // fixed n, CI from data
+    const SampleResult r = SampleUntilConverged(
+        [&] { return 50.0 + rng.NextGaussian() * 5.0; }, options);
+    if (std::fabs(r.estimate.value - 50.0) <= r.estimate.ci95) {
+      covered++;
+    }
+  }
+  EXPECT_GE(covered, trials * 85 / 100);
+  EXPECT_LE(covered, trials);
+}
+
+}  // namespace
+}  // namespace specbench

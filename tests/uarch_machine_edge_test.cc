@@ -1,0 +1,345 @@
+// Edge cases and failure-injection for the machine: boundary conditions the
+// main behaviour tests don't reach.
+#include <gtest/gtest.h>
+
+#include "src/cpu/cpu_model.h"
+#include "src/isa/program.h"
+#include "src/uarch/machine.h"
+
+namespace specbench {
+namespace {
+
+Program BuildAndLoad(Machine& m, ProgramBuilder& b, Program& storage) {
+  storage = b.Build();
+  m.LoadProgram(&storage);
+  return storage;
+}
+
+TEST(MachineEdge, DivisionByZeroYieldsZero) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.MovImm(0, 42);
+  b.MovImm(1, 0);
+  b.Div(2, 0, 1);
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.Run(p.VaddrOf(0));
+  EXPECT_EQ(m.reg(2), 0u);
+}
+
+TEST(MachineEdge, UnalignedAccessesAliasTheSameWord) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.MovImm(0, 0xBEEF);
+  b.MovImm(1, 0x100000);
+  b.Store(MemRef{.base = 1}, 0);
+  b.Load(2, MemRef{.base = 1, .disp = 4});  // same 8-byte word
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.Run(p.VaddrOf(0));
+  EXPECT_EQ(m.reg(2), 0xBEEFu);
+}
+
+TEST(MachineEdge, LeaComputesWithoutMemoryAccess) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.MovImm(1, 0x1000);
+  b.MovImm(2, 3);
+  b.Lea(3, MemRef{.base = 1, .index = 2, .scale = 8, .disp = 16});
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.Run(p.VaddrOf(0));
+  EXPECT_EQ(m.reg(3), 0x1000u + 3 * 8 + 16);
+  // No cache line was touched by lea.
+  EXPECT_EQ(m.caches().LevelOf(0x1018), 0);
+}
+
+TEST(MachineEdge, RdmsrOfUnknownMsrReturnsZeroThenRoundTrips) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.Rdmsr(2, 0x1234);
+  b.MovImm(3, 77);
+  b.Wrmsr(0x1234, 3);
+  b.Rdmsr(4, 0x1234);
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.Run(p.VaddrOf(0));
+  EXPECT_EQ(m.reg(2), 0u);
+  EXPECT_EQ(m.reg(4), 77u);
+}
+
+TEST(MachineEdge, MfenceDrainsTheStoreBuffer) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.MovImm(0, 5);
+  b.MovImm(1, 0x200000);
+  b.Store(MemRef{.base = 1}, 0);
+  b.Mfence();
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.Run(p.VaddrOf(0));
+  EXPECT_TRUE(m.store_buffer().empty());
+  EXPECT_EQ(m.physical_memory().Read(0x200000), 5u);
+}
+
+TEST(MachineEdge, StoreBufferOverflowForceDrainsInOrder) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  // 100 stores to distinct words far exceed the 48-entry buffer.
+  for (int i = 0; i < 100; i++) {
+    b.MovImm(0, i);
+    b.MovImm(1, 0x300000 + i * 8);
+    b.Store(MemRef{.base = 1}, 0);
+  }
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.Run(p.VaddrOf(0));
+  m.DrainStoreBuffer();
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(m.physical_memory().Read(0x300000 + static_cast<uint64_t>(i) * 8),
+              static_cast<uint64_t>(i));
+  }
+}
+
+TEST(MachineEdge, RobBackpressureBoundsIssueAheadOfCompletion) {
+  // A long stream of independent cache misses: issue cannot run more than
+  // one speculation window ahead, so total time grows with the miss count
+  // rather than collapsing to the instruction count.
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  Machine m(cpu);
+  ProgramBuilder b;
+  constexpr int kMisses = 64;
+  for (int i = 0; i < kMisses; i++) {
+    b.MovImm(1, 0x400000 + i * 0x10000);
+    b.Load(static_cast<uint8_t>(2 + (i % 4)), MemRef{.base = 1});
+  }
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  const auto result = m.Run(p.VaddrOf(0));
+  // Perfect overlap would be ~mem_latency + 2*kMisses; zero overlap would be
+  // kMisses * mem_latency. Backpressure puts us well between the two.
+  EXPECT_GT(result.cycles, cpu.latency.mem_latency + 2ull * kMisses);
+  EXPECT_LT(result.cycles, static_cast<uint64_t>(kMisses) * cpu.latency.mem_latency);
+}
+
+TEST(MachineEdge, TlbPressureChargesWalks) {
+  // Touching more pages than the TLB holds makes every revisit miss again.
+  const CpuModel& cpu = GetCpuModel(Uarch::kZen2);  // 64-entry TLB
+  auto run_pages = [&](int pages) {
+    Machine m(cpu);
+    ProgramBuilder b;
+    Label outer = b.NewLabel();
+    b.MovImm(0, 4);  // sweeps
+    b.Bind(outer);
+    for (int i = 0; i < pages; i++) {
+      b.MovImm(1, 0x500000 + i * 4096);
+      b.Load(2, MemRef{.base = 1});
+    }
+    b.AluImm(AluOp::kSub, 0, 0, 1);
+    b.BranchNz(0, outer);
+    b.Halt();
+    Program p = b.Build();
+    m.LoadProgram(&p);
+    m.Run(p.VaddrOf(0));
+    return m.tlb().misses();
+  };
+  // 16 pages fit: misses only on the first sweep. 256 pages thrash.
+  EXPECT_EQ(run_pages(16), 16u);
+  EXPECT_GE(run_pages(256), 4u * 256u - 64u);
+}
+
+TEST(MachineEdge, IbpbCausesCountedMispredictions) {
+  // The paper §5.3: "performance counters report that indirect branches
+  // executed after an IBPB result in mispredictions."
+  Machine m(GetCpuModel(Uarch::kCascadeLake));
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  Label fn = b.NewLabel();
+  Label start = b.NewLabel();
+  b.Jmp(start);
+  int32_t fn_index = b.NextIndex();
+  b.Bind(fn);
+  b.Ret();
+  b.Bind(start);
+  // One call site, four iterations; an IBPB fires after the second.
+  Label loop = b.NewLabel();
+  Label skip = b.NewLabel();
+  b.MovImm(0, 4);
+  b.Bind(loop);
+  b.IndirectCall(5);
+  b.AluImm(AluOp::kCmpEq, 6, 0, 3);  // after the 2nd call (counter counts down)
+  b.BranchZ(6, skip);
+  b.MovImm(7, 1);
+  b.Wrmsr(kMsrPredCmd, 7);  // IBPB
+  b.Bind(skip);
+  b.AluImm(AluOp::kSub, 0, 0, 1);
+  b.BranchNz(0, loop);
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.SetReg(5, p.VaddrOf(fn_index));
+  m.Run(p.VaddrOf(0));
+  // Cold first call + the first post-IBPB call count as mispredictions; the
+  // other two hit.
+  EXPECT_EQ(m.PmcValue(Pmc::kMispIndirect), 2u);
+  EXPECT_EQ(m.PmcValue(Pmc::kBtbHits), 2u);
+}
+
+TEST(MachineEdge, RsbUnderflowCounted) {
+  Machine m(GetCpuModel(Uarch::kBroadwell));
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  Label after = b.NewLabel();
+  // Fabricate a return frame without a matching call.
+  b.MovImm(1, static_cast<int64_t>(0x700000 - 8));
+  b.Mov(kRegSp, 1);
+  b.Ret();
+  b.Bind(after);
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.PokeData(0x700000 - 8, p.VaddrOf(3));  // the Halt
+  m.Run(p.VaddrOf(0));
+  EXPECT_EQ(m.PmcValue(Pmc::kRsbUnderflows), 1u);
+}
+
+TEST(MachineEdge, SpeculationWindowClampsEpisodeLength) {
+  // A wrong path longer than the speculation window: squashed-uop count is
+  // bounded by the window even though the guard takes ~mem_latency to
+  // resolve and the wrong path is much longer.
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);  // window 190
+  Machine m(cpu);
+  ProgramBuilder b;
+  Label spec = b.NewLabel();
+  Label done = b.NewLabel();
+  b.MovImm(1, 0x600000);
+  b.Load(2, MemRef{.base = 1});
+  const int32_t branch_index = b.NextIndex();
+  b.BranchNz(2, spec);
+  b.Jmp(done);
+  b.Bind(spec);
+  for (int i = 0; i < 600; i++) {
+    b.AluImm(AluOp::kAdd, 3, 3, 1);
+  }
+  b.Bind(done);
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.PokeData(0x600000, 0);
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+  m.caches().Clflush(0x600000);
+  m.Run(p.VaddrOf(0));
+  const uint64_t squashed = m.PmcValue(Pmc::kSquashedUops);
+  EXPECT_GT(squashed, 50u);
+  EXPECT_LE(squashed, cpu.speculation_window);
+}
+
+TEST(MachineEdge, CorrectlyPredictedBranchHasNoEpisode) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  Label loop = b.NewLabel();
+  b.MovImm(0, 50);
+  b.Bind(loop);
+  b.AluImm(AluOp::kSub, 0, 0, 1);
+  b.BranchNz(0, loop);
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  m.Run(p.VaddrOf(0));
+  // Only the warmup mispredictions and the final exit can squash; a hot
+  // loop body contributes nothing.
+  EXPECT_LT(m.PmcValue(Pmc::kSquashedUops), 20u);
+}
+
+TEST(MachineEdgeDeathTest, UnregisteredKcallAborts) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.Kcall(777);
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  EXPECT_DEATH(m.Run(p.VaddrOf(0)), "unregistered hook");
+}
+
+TEST(MachineEdgeDeathTest, SyscallWithoutEntryPointAborts) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.Syscall();
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  EXPECT_DEATH(m.Run(p.VaddrOf(0)), "syscall entry");
+}
+
+TEST(MachineEdgeDeathTest, RetOutsideProgramAborts) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  b.Ret();  // stack holds zero: not a code address
+  b.Halt();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  EXPECT_DEATH(m.Run(p.VaddrOf(0)), "outside the program");
+}
+
+TEST(MachineEdgeDeathTest, RunawayProgramHitsInstructionBudget) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  Label forever = b.NewLabel();
+  b.Bind(forever);
+  b.Jmp(forever);
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  EXPECT_DEATH(m.Run(p.VaddrOf(0), /*max_instructions=*/1000), "budget");
+}
+
+TEST(MachineEdge, GuestUserSyscallEntersGuestKernel) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  m.SetMode(Mode::kGuestUser);
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  Label entry = b.NewLabel();
+  b.Syscall();
+  b.Halt();
+  b.Bind(entry);
+  b.MovImm(3, static_cast<int64_t>(static_cast<int>(Mode::kGuestKernel)));
+  b.Sysret();
+  Program p = b.Build();
+  m.LoadProgram(&p);
+  m.SetSyscallEntry(p.VaddrOf(2));
+  std::vector<Mode> seen;
+  m.SetTraceHook([&seen](const Machine::TraceRecord& r) { seen.push_back(r.mode); });
+  m.Run(p.VaddrOf(0));
+  ASSERT_EQ(seen.size(), 4u);  // syscall, movimm, sysret, halt
+  EXPECT_EQ(seen[1], Mode::kGuestKernel);
+  EXPECT_EQ(seen[2], Mode::kGuestKernel);
+  EXPECT_EQ(m.mode(), Mode::kGuestUser);
+}
+
+TEST(MachineEdge, CmovFalseKeepsDestination) {
+  Machine m(GetCpuModel(Uarch::kZen2));
+  ProgramBuilder b;
+  b.MovImm(0, 111);  // dst
+  b.MovImm(1, 222);  // src
+  b.MovImm(2, 0);    // cond = false
+  b.Cmov(0, 1, 2);
+  b.MovImm(3, 1);    // cond = true
+  b.Cmov(0, 1, 3);
+  b.Halt();
+  Program p;
+  BuildAndLoad(m, b, p);
+  Machine::RunResult r = m.Run(p.VaddrOf(0));
+  (void)r;
+  EXPECT_EQ(m.reg(0), 222u);  // second cmov fired; first did not
+}
+
+}  // namespace
+}  // namespace specbench

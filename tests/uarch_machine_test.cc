@@ -1,0 +1,572 @@
+// Architectural and timing behaviour of the simulated machine.
+#include <gtest/gtest.h>
+
+#include "src/cpu/cpu_model.h"
+#include "src/isa/program.h"
+#include "src/uarch/machine.h"
+
+namespace specbench {
+namespace {
+
+class MachineTest : public ::testing::Test {
+ protected:
+  Machine NewMachine(Uarch uarch = Uarch::kBroadwell) {
+    return Machine(GetCpuModel(uarch));
+  }
+
+  // Builds, loads, runs from index 0, returns the result.
+  Machine::RunResult RunProgram(Machine& m, ProgramBuilder& b) {
+    program_ = b.Build();
+    m.LoadProgram(&program_);
+    return m.Run(program_.VaddrOf(0));
+  }
+
+  Program program_;
+};
+
+TEST_F(MachineTest, ArithmeticAndMov) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.MovImm(0, 6);
+  b.MovImm(1, 7);
+  b.Mul(2, 0, 1);
+  b.AluImm(AluOp::kAdd, 2, 2, 8);
+  b.DivImm(3, 2, 5);
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(m.reg(2), 50u);
+  EXPECT_EQ(m.reg(3), 10u);
+}
+
+TEST_F(MachineTest, AluOpsComplete) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.MovImm(0, 12);
+  b.MovImm(1, 10);
+  b.Alu(AluOp::kSub, 2, 0, 1);   // 2
+  b.Alu(AluOp::kAnd, 3, 0, 1);   // 8
+  b.Alu(AluOp::kOr, 4, 0, 1);    // 14
+  b.Alu(AluOp::kXor, 5, 0, 1);   // 6
+  b.AluImm(AluOp::kShl, 6, 0, 2); // 48
+  b.AluImm(AluOp::kShr, 7, 0, 2); // 3
+  b.Alu(AluOp::kCmpLt, 8, 1, 0); // 1
+  b.Alu(AluOp::kCmpGe, 9, 1, 0); // 0
+  b.Alu(AluOp::kCmpEq, 11, 0, 0); // 1
+  b.Alu(AluOp::kCmpNe, 12, 0, 0); // 0
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(m.reg(2), 2u);
+  EXPECT_EQ(m.reg(3), 8u);
+  EXPECT_EQ(m.reg(4), 14u);
+  EXPECT_EQ(m.reg(5), 6u);
+  EXPECT_EQ(m.reg(6), 48u);
+  EXPECT_EQ(m.reg(7), 3u);
+  EXPECT_EQ(m.reg(8), 1u);
+  EXPECT_EQ(m.reg(9), 0u);
+  EXPECT_EQ(m.reg(11), 1u);
+  EXPECT_EQ(m.reg(12), 0u);
+}
+
+TEST_F(MachineTest, LoopExecutes) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  Label loop = b.NewLabel();
+  b.MovImm(0, 10);
+  b.MovImm(1, 0);
+  b.Bind(loop);
+  b.AluImm(AluOp::kAdd, 1, 1, 3);
+  b.AluImm(AluOp::kSub, 0, 0, 1);
+  b.BranchNz(0, loop);
+  b.Halt();
+  const auto result = RunProgram(m, b);
+  EXPECT_EQ(m.reg(1), 30u);
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST_F(MachineTest, StoreThenLoadForwards) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.MovImm(0, 0xDEAD);
+  b.MovImm(1, 0x100000);
+  b.Store(MemRef{.base = 1}, 0);
+  b.Load(2, MemRef{.base = 1});
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(m.reg(2), 0xDEADu);
+}
+
+TEST_F(MachineTest, StoreVisibleAfterDrain) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.MovImm(0, 77);
+  b.MovImm(1, 0x200000);
+  b.Store(MemRef{.base = 1}, 0);
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(m.PeekData(0x200000), 77u);
+}
+
+TEST_F(MachineTest, CallRetRoundTrip) {
+  Machine m = NewMachine();
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  Label fn = b.NewLabel();
+  Label over = b.NewLabel();
+  b.Jmp(over);
+  b.Bind(fn);
+  b.MovImm(3, 99);
+  b.Ret();
+  b.Bind(over);
+  b.Call(fn);
+  b.MovImm(4, 1);
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(m.reg(3), 99u);
+  EXPECT_EQ(m.reg(4), 1u);
+  EXPECT_EQ(m.reg(kRegSp), 0x700000u);  // balanced push/pop
+}
+
+TEST_F(MachineTest, IndirectCallThroughRegister) {
+  Machine m = NewMachine();
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  Label fn = b.NewLabel();
+  Label over = b.NewLabel();
+  b.Jmp(over);
+  Label fn_pos = fn;
+  b.Bind(fn_pos);
+  b.MovImm(3, 55);
+  b.Ret();
+  b.Bind(over);
+  b.MovImm(5, 0);  // patched below via register setup
+  b.IndirectCall(6);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  // fn is at index 1.
+  m.SetReg(6, program_.VaddrOf(1));
+  m.Run(program_.VaddrOf(0));
+  EXPECT_EQ(m.reg(3), 55u);
+}
+
+TEST_F(MachineTest, CacheMissVisibleThroughRdtsc) {
+  // The flush+reload primitive: timing distinguishes cached from uncached.
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.MovImm(1, 0x300000);
+  b.Load(2, MemRef{.base = 1});   // cold: memory latency
+  b.Lfence();
+  b.Rdtsc(3);
+  b.Load(4, MemRef{.base = 1});   // hot: L1
+  b.Lfence();
+  b.Rdtsc(5);
+  b.Halt();
+  RunProgram(m, b);
+  const uint64_t hot = m.reg(5) - m.reg(3);
+  EXPECT_LT(hot, 80u);  // L1 hit + lfence + rdtsc overheads
+
+  // Now the cold path with an explicit flush.
+  Machine m2 = NewMachine();
+  ProgramBuilder b2;
+  b2.MovImm(1, 0x300000);
+  b2.Load(2, MemRef{.base = 1});
+  b2.Clflush(MemRef{.base = 1});
+  b2.Lfence();
+  b2.Rdtsc(3);
+  b2.Load(4, MemRef{.base = 1});
+  b2.Lfence();
+  b2.Rdtsc(5);
+  b2.Halt();
+  program_ = b2.Build();
+  m2.LoadProgram(&program_);
+  m2.Run(program_.VaddrOf(0));
+  const uint64_t cold = m2.reg(5) - m2.reg(3);
+  EXPECT_GT(cold, hot + 100);
+}
+
+TEST_F(MachineTest, DependentLoadChainSlowerThanIndependent) {
+  // Pointer chase: each load's address depends on the previous load.
+  Machine chase = NewMachine();
+  {
+    ProgramBuilder b;
+    // Build chain in memory: addr -> next addr.
+    b.MovImm(1, 0x400000);
+    for (int i = 0; i < 8; i++) {
+      b.Load(1, MemRef{.base = 1});
+    }
+    b.Halt();
+    program_ = b.Build();
+    chase.LoadProgram(&program_);
+    uint64_t addr = 0x400000;
+    for (int i = 0; i < 9; i++) {
+      chase.PokeData(addr, addr + 0x10000);
+      addr += 0x10000;
+    }
+    chase.Run(program_.VaddrOf(0));
+  }
+  const uint64_t chain_cycles = chase.cycles();
+
+  Machine indep = NewMachine();
+  Program p2;
+  {
+    ProgramBuilder b;
+    for (int i = 0; i < 8; i++) {
+      b.MovImm(1, 0x400000 + i * 0x10000);
+      b.Load(static_cast<uint8_t>(2 + (i % 8)), MemRef{.base = 1});
+    }
+    b.Halt();
+    p2 = b.Build();
+    indep.LoadProgram(&p2);
+    indep.Run(p2.VaddrOf(0));
+  }
+  // Independent misses overlap; a dependent chain serializes to roughly
+  // 8 back-to-back memory latencies.
+  EXPECT_GT(chain_cycles, indep.cycles() * 2);
+  EXPECT_GT(chain_cycles, 8u * GetCpuModel(Uarch::kBroadwell).latency.mem_latency * 9 / 10);
+}
+
+TEST_F(MachineTest, LfenceCostMatchesCpuModel) {
+  for (Uarch u : {Uarch::kZen1, Uarch::kZen2, Uarch::kIceLakeClient}) {
+    Machine m = NewMachine(u);
+    ProgramBuilder b;
+    b.Lfence();
+    b.Halt();
+    program_ = b.Build();
+    m.LoadProgram(&program_);
+    const auto result = m.Run(program_.VaddrOf(0));
+    EXPECT_GE(result.cycles, GetCpuModel(u).latency.lfence) << UarchName(u);
+    EXPECT_LE(result.cycles, GetCpuModel(u).latency.lfence + 4) << UarchName(u);
+  }
+}
+
+TEST_F(MachineTest, VerwClearsFillBuffersOnVulnerableCpu) {
+  Machine m = NewMachine(Uarch::kSkylakeClient);  // MDS-vulnerable
+  ProgramBuilder b;
+  b.MovImm(1, 0x500000);
+  b.Load(2, MemRef{.base = 1});  // miss -> fill buffer entry
+  b.Verw();
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.Run(program_.VaddrOf(0));
+  EXPECT_TRUE(m.fill_buffers().empty());
+}
+
+TEST_F(MachineTest, VerwIsCheapLegacyOnFixedCpu) {
+  Machine vulnerable = NewMachine(Uarch::kSkylakeClient);
+  Machine fixed = NewMachine(Uarch::kIceLakeServer);
+  for (Machine* m : {&vulnerable, &fixed}) {
+    ProgramBuilder b;
+    b.Verw();
+    b.Halt();
+    program_ = b.Build();
+    m->LoadProgram(&program_);
+    m->Run(program_.VaddrOf(0));
+  }
+  EXPECT_GT(vulnerable.cycles(), fixed.cycles() * 5);
+}
+
+TEST_F(MachineTest, IbpbFlushesBtbAndCostsCycles) {
+  Machine m = NewMachine(Uarch::kBroadwell);
+  m.btb().Train(0x1234, 0x9999, Mode::kUser, 0);
+  ProgramBuilder b;
+  b.MovImm(1, 1);  // PRED_CMD.IBPB
+  b.Wrmsr(kMsrPredCmd, 1);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  const auto result = m.Run(program_.VaddrOf(0));
+  EXPECT_EQ(m.btb().size(), 0u);
+  EXPECT_GE(result.cycles, GetCpuModel(Uarch::kBroadwell).latency.ibpb);
+}
+
+TEST_F(MachineTest, WrmsrSpecCtrlSetsIbrsAndSsbd) {
+  Machine m = NewMachine(Uarch::kSkylakeClient);
+  ProgramBuilder b;
+  b.MovImm(1, static_cast<int64_t>(kSpecCtrlIbrs | kSpecCtrlSsbd));
+  b.Wrmsr(kMsrSpecCtrl, 1);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.Run(program_.VaddrOf(0));
+  EXPECT_TRUE(m.ibrs_active());
+  EXPECT_TRUE(m.ssbd_active());
+}
+
+TEST_F(MachineTest, IbrsBitIgnoredWhereUnsupported) {
+  Machine m = NewMachine(Uarch::kZen1);  // no IBRS support
+  ProgramBuilder b;
+  b.MovImm(1, static_cast<int64_t>(kSpecCtrlIbrs));
+  b.Wrmsr(kMsrSpecCtrl, 1);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.Run(program_.VaddrOf(0));
+  EXPECT_FALSE(m.ibrs_active());
+}
+
+TEST_F(MachineTest, FlushCmdMsrFlushesL1) {
+  Machine m = NewMachine(Uarch::kBroadwell);
+  ProgramBuilder b;
+  b.MovImm(1, 0x600000);
+  b.Load(2, MemRef{.base = 1});
+  b.MovImm(3, 1);
+  b.Wrmsr(kMsrFlushCmd, 3);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.Run(program_.VaddrOf(0));
+  EXPECT_NE(m.caches().LevelOf(0x600000), 1);
+}
+
+TEST_F(MachineTest, SyscallSwitchesModeAndJumps) {
+  Machine m = NewMachine();
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  Label entry = b.NewLabel();
+  b.Syscall();          // 0: user
+  b.MovImm(4, 7);       // 1: resumed here after sysret
+  b.Halt();             // 2
+  b.Bind(entry);        // 3: kernel entry
+  b.MovImm(3, 1);
+  b.Sysret();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.SetSyscallEntry(program_.VaddrOf(3));
+  m.Run(program_.VaddrOf(0));
+  EXPECT_EQ(m.reg(3), 1u);
+  EXPECT_EQ(m.reg(4), 7u);
+  EXPECT_EQ(m.mode(), Mode::kUser);
+  EXPECT_EQ(m.PmcValue(Pmc::kKernelEntries), 1u);
+}
+
+TEST_F(MachineTest, SyscallCostIncludesTable3Latency) {
+  for (Uarch u : {Uarch::kBroadwell, Uarch::kIceLakeClient, Uarch::kZen3}) {
+    Machine m = NewMachine(u);
+    m.SetReg(kRegSp, 0x700000);
+    ProgramBuilder b;
+    Label entry = b.NewLabel();
+    b.Syscall();
+    b.Halt();
+    b.Bind(entry);
+    b.Sysret();
+    program_ = b.Build();
+    m.LoadProgram(&program_);
+    m.SetSyscallEntry(program_.VaddrOf(2));
+    const auto result = m.Run(program_.VaddrOf(0));
+    const LatencyTable& lat = GetCpuModel(u).latency;
+    EXPECT_GE(result.cycles, lat.syscall + lat.sysret) << UarchName(u);
+    EXPECT_LE(result.cycles, lat.syscall + lat.sysret + 10) << UarchName(u);
+  }
+}
+
+TEST_F(MachineTest, MovCr3ChargesSwapCost) {
+  Machine m = NewMachine(Uarch::kBroadwell);
+  ProgramBuilder b;
+  b.MovImm(1, 5);
+  b.MovCr3(1);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  const auto result = m.Run(program_.VaddrOf(0));
+  EXPECT_EQ(m.cr3(), 5u);
+  EXPECT_GE(result.cycles, GetCpuModel(Uarch::kBroadwell).latency.swap_cr3);
+}
+
+TEST_F(MachineTest, PcidPreservesTlbAcrossCr3Writes) {
+  Machine m = NewMachine(Uarch::kSkylakeClient);
+  ProgramBuilder b;
+  b.MovImm(1, 0x500000);
+  b.Load(2, MemRef{.base = 1});
+  b.MovImm(3, 1);
+  b.MovCr3(3);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.Run(program_.VaddrOf(0));
+  // PCID on: the entry for asid 0 survives the cr3 write.
+  EXPECT_TRUE(m.tlb().Contains(PageOf(0x500000), 0));
+}
+
+TEST_F(MachineTest, NoPcidFlushesTlbOnCr3Write) {
+  Machine m = NewMachine(Uarch::kSkylakeClient);
+  m.SetPcidEnabled(false);
+  ProgramBuilder b;
+  b.MovImm(1, 0x500000);
+  b.Load(2, MemRef{.base = 1});
+  b.MovImm(3, 1);
+  b.MovCr3(3);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.Run(program_.VaddrOf(0));
+  EXPECT_FALSE(m.tlb().Contains(PageOf(0x500000), 0));
+}
+
+TEST_F(MachineTest, RsbStuffFillsRsb) {
+  Machine m = NewMachine(Uarch::kZen2);
+  ProgramBuilder b;
+  b.RsbStuff();
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  const auto result = m.Run(program_.VaddrOf(0));
+  EXPECT_EQ(m.rsb().size(), GetCpuModel(Uarch::kZen2).predictor.rsb_depth);
+  EXPECT_GE(result.cycles, GetCpuModel(Uarch::kZen2).latency.rsb_stuff);
+}
+
+TEST_F(MachineTest, FpTrapFiresWhenFpuDisabled) {
+  Machine m = NewMachine();
+  m.SetFpuEnabled(false);
+  int traps = 0;
+  m.SetFpTrapHook([&traps](Machine& machine) {
+    traps++;
+    machine.SetFpuEnabled(true);
+  });
+  ProgramBuilder b;
+  b.GpToFp(0, 1);
+  b.FpOp(0);
+  b.Halt();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  const auto result = m.Run(program_.VaddrOf(0));
+  EXPECT_EQ(traps, 1);  // second FP op runs without trapping
+  EXPECT_GE(result.cycles, GetCpuModel(Uarch::kBroadwell).latency.fp_trap);
+}
+
+TEST_F(MachineTest, FpRegsRoundTrip) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.MovImm(1, 123);
+  b.GpToFp(2, 1);
+  b.FpToGp(3, 2);
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(m.reg(3), 123u);
+  EXPECT_EQ(m.fpreg(2), 123u);
+}
+
+TEST_F(MachineTest, KcallRunsHook) {
+  Machine m = NewMachine();
+  int fired = 0;
+  m.RegisterKcall(42, [&fired](Machine& machine) {
+    fired++;
+    machine.SetReg(0, 1234);
+  });
+  ProgramBuilder b;
+  b.Kcall(42);
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(m.reg(0), 1234u);
+}
+
+TEST_F(MachineTest, PageFaultHookRetries) {
+  Machine m = NewMachine();
+  // A map that rejects the first translation of 0x900000.
+  class FlakyMap : public MemoryMap {
+   public:
+    Translation Translate(uint64_t vaddr, uint64_t, Mode) const override {
+      Translation t;
+      t.paddr = vaddr;
+      t.mapped = true;
+      t.present = true;
+      t.user_accessible = true;
+      t.valid = vaddr != 0x900000 || allow_;
+      return t;
+    }
+    mutable bool allow_ = false;
+  };
+  FlakyMap map;
+  m.SetMemoryMap(&map);
+  int faults = 0;
+  m.SetPageFaultHook([&](Machine&, uint64_t vaddr) {
+    EXPECT_EQ(vaddr, 0x900000u);
+    faults++;
+    map.allow_ = true;
+    return true;
+  });
+  ProgramBuilder b;
+  b.MovImm(1, 0x900000);
+  b.Load(2, MemRef{.base = 1});
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(faults, 1);
+}
+
+TEST_F(MachineTest, RdpmcReadsCounters) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.DivImm(1, 0, 3);
+  b.Rdpmc(2, Pmc::kArithDividerActive);
+  b.Halt();
+  RunProgram(m, b);
+  EXPECT_EQ(m.reg(2), GetCpuModel(Uarch::kBroadwell).latency.div);
+}
+
+TEST_F(MachineTest, InstructionsCounted) {
+  Machine m = NewMachine();
+  ProgramBuilder b;
+  b.Nop();
+  b.Nop();
+  b.Halt();
+  const auto result = RunProgram(m, b);
+  EXPECT_EQ(result.instructions, 3u);
+}
+
+TEST_F(MachineTest, VmEnterExitStateTransitions) {
+  Machine m = NewMachine();
+  m.SetMode(Mode::kHost);
+  ProgramBuilder b;
+  b.VmEnter();                      // host: enter the guest
+  b.Halt();
+  b.BindSymbol("guest");
+  b.MovImm(3, 1);
+  b.VmExit();                       // guest: exit to the host handler
+  b.Halt();
+  b.BindSymbol("handler");
+  b.MovImm(4, 2);
+  b.Halt();                         // stop in the host handler
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.SetGuestResumePoint(program_.SymbolVaddr("guest"));
+  m.SetVmExitHandler(program_.SymbolVaddr("handler"));
+  m.Run(program_.VaddrOf(0));
+  EXPECT_EQ(m.reg(3), 1u);  // guest ran
+  EXPECT_EQ(m.reg(4), 2u);  // handler ran
+  EXPECT_EQ(m.mode(), Mode::kHost);
+}
+
+TEST_F(MachineTest, EibrsScrubMakesKernelEntriesBimodal) {
+  // §6.2.2: with eIBRS on, every Nth kernel entry is ~210 cycles slower.
+  const CpuModel& cpu = GetCpuModel(Uarch::kCascadeLake);
+  Machine m(cpu);
+  m.SetIbrs(true);
+  m.SetReg(kRegSp, 0x700000);
+  ProgramBuilder b;
+  Label entry = b.NewLabel();
+  b.Syscall();
+  b.Halt();
+  b.Bind(entry);
+  b.Sysret();
+  program_ = b.Build();
+  m.LoadProgram(&program_);
+  m.SetSyscallEntry(program_.VaddrOf(2));
+
+  std::vector<uint64_t> costs;
+  for (int i = 0; i < 24; i++) {
+    const uint64_t before = m.cycles();
+    m.Run(program_.VaddrOf(0));
+    costs.push_back(m.cycles() - before);
+  }
+  uint64_t slow = 0;
+  for (uint64_t c : costs) {
+    if (c > cpu.latency.syscall + cpu.latency.sysret + 100) {
+      slow++;
+    }
+  }
+  EXPECT_EQ(slow, 24u / cpu.predictor.eibrs_scrub_period);
+}
+
+}  // namespace
+}  // namespace specbench

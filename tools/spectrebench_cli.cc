@@ -1,0 +1,225 @@
+// spectrebench command-line interface: run any of the paper's experiments
+// (or the ground-truth attack suite) by name, with CPU filtering and a fast
+// mode for quick iterations.
+//
+//   spectrebench list
+//   spectrebench table1|table2|...|table8|tables9-10|sec622
+//   spectrebench fig2|fig3|fig5|sec44|sec45 [--fast] [--cpus=Zen 3,Broadwell]
+//   spectrebench attacks [--cpus=...]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/attack/attacks.h"
+#include "src/core/experiments.h"
+#include "src/workload/lebench.h"
+
+using namespace specbench;
+
+namespace {
+
+struct CliOptions {
+  bool fast = false;
+  std::vector<Uarch> cpus = AllUarches();
+};
+
+SamplerOptions SamplerFor(const CliOptions& options) {
+  SamplerOptions sampler;
+  if (options.fast) {
+    sampler.min_samples = 3;
+    sampler.max_samples = 6;
+    sampler.target_relative_ci = 0.03;
+  } else {
+    sampler.min_samples = 5;
+    sampler.max_samples = 20;
+    sampler.target_relative_ci = 0.01;
+  }
+  return sampler;
+}
+
+std::vector<Uarch> ParseCpuList(const std::string& list) {
+  std::vector<Uarch> cpus;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string name =
+        list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!name.empty()) {
+      cpus.push_back(GetCpuModelByName(name).uarch);  // aborts on unknown names
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return cpus;
+}
+
+int RunAttackSuite(const CliOptions& options) {
+  std::printf("%-16s %-12s %-10s %-10s\n", "CPU", "attack", "unmitigated", "mitigated");
+  int bad = 0;
+  for (Uarch u : options.cpus) {
+    const CpuModel& cpu = GetCpuModel(u);
+    struct Row {
+      const char* name;
+      AttackResult off;
+      AttackResult on;
+    };
+    const Row rows[] = {
+        {"spectre-v1", RunSpectreV1Attack(cpu, false), RunSpectreV1Attack(cpu, true)},
+        {"spectre-v2", RunSpectreV2Attack(cpu, {}),
+         RunSpectreV2Attack(cpu, {.generic_retpoline = true})},
+        {"spectre-rsb", RunSpectreRsbAttack(cpu, false), RunSpectreRsbAttack(cpu, true)},
+        {"meltdown", RunMeltdownAttack(cpu, false), RunMeltdownAttack(cpu, true)},
+        {"mds", RunMdsAttack(cpu, false), RunMdsAttack(cpu, true)},
+        {"ssb", RunSsbAttack(cpu, false), RunSsbAttack(cpu, true)},
+        {"lazyfp", RunLazyFpAttack(cpu, false), RunLazyFpAttack(cpu, true)},
+        {"l1tf", RunL1tfAttack(cpu, false), RunL1tfAttack(cpu, true)},
+        {"v2-smt", RunSpectreV2SmtAttack(cpu, false), RunSpectreV2SmtAttack(cpu, true)},
+    };
+    for (const Row& row : rows) {
+      std::printf("%-16s %-12s %-10s %-10s\n", UarchName(u), row.name,
+                  row.off.leaked ? "LEAK" : "safe", row.on.leaked ? "LEAK" : "safe");
+      bad += row.on.leaked ? 1 : 0;
+    }
+  }
+  std::printf("\n%d leaks with mitigations enabled (expected 0).\n", bad);
+  return bad == 0 ? 0 : 1;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: spectrebench <command> [--fast] [--cpus=Name1,Name2]\n\n"
+      "commands:\n"
+      "  list         experiments and CPU models\n"
+      "  table1       default mitigation matrix        table2  CPU inventory\n"
+      "  table3       syscall/sysret/cr3 cycles        table4  verw cycles\n"
+      "  table5       indirect branch variants         table6  IBPB cycles\n"
+      "  table7       RSB stuffing cycles              table8  lfence cycles\n"
+      "  tables9-10   the speculation probe matrix     sec622  eIBRS bimodality\n"
+      "  fig2         LEBench attribution (per CPU)\n"
+      "  fig3         Octane 2 attribution (per CPU)\n"
+      "  fig5         SSBD on PARSEC (per CPU)\n"
+      "  sec44        VM workloads                     sec45   PARSEC defaults\n"
+      "  fig2-kernels per-kernel LEBench overhead drill-down\n"
+      "  attacks      run the full attack ground-truth suite\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  CliOptions options;
+  for (int i = 2; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      options.fast = true;
+    } else if (arg.rfind("--cpus=", 0) == 0) {
+      options.cpus = ParseCpuList(arg.substr(7));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (command == "list") {
+    PrintUsage();
+    std::printf("\nCPU models:\n");
+    for (Uarch u : AllUarches()) {
+      const CpuModel& cpu = GetCpuModel(u);
+      std::printf("  %-16s %s %s\n", UarchName(u), VendorName(cpu.vendor),
+                  cpu.model_name.c_str());
+    }
+    return 0;
+  }
+  if (command == "table1") {
+    std::printf("%s\n", RenderTable1MitigationMatrix().c_str());
+    return 0;
+  }
+  if (command == "table2") {
+    std::printf("%s\n", RenderTable2CpuInfo().c_str());
+    return 0;
+  }
+  if (command == "table3") {
+    std::printf("%s\n", RenderTable3EntryExit().c_str());
+    return 0;
+  }
+  if (command == "table4") {
+    std::printf("%s\n", RenderTable4Verw().c_str());
+    return 0;
+  }
+  if (command == "table5") {
+    std::printf("%s\n", RenderTable5IndirectBranch().c_str());
+    return 0;
+  }
+  if (command == "table6") {
+    std::printf("%s\n", RenderTable6Ibpb().c_str());
+    return 0;
+  }
+  if (command == "table7") {
+    std::printf("%s\n", RenderTable7RsbStuff().c_str());
+    return 0;
+  }
+  if (command == "table8") {
+    std::printf("%s\n", RenderTable8Lfence().c_str());
+    return 0;
+  }
+  if (command == "tables9-10") {
+    std::printf("%s\n", RenderTables9And10().c_str());
+    return 0;
+  }
+  if (command == "sec622") {
+    std::printf("%s\n", RenderEibrsBimodal().c_str());
+    return 0;
+  }
+  if (command == "fig2") {
+    std::printf("%s\n",
+                RenderFigure2(RunFigure2LeBench(SamplerFor(options), options.cpus)).c_str());
+    return 0;
+  }
+  if (command == "fig3") {
+    std::printf("%s\n",
+                RenderFigure3(RunFigure3Octane(SamplerFor(options), options.cpus)).c_str());
+    return 0;
+  }
+  if (command == "fig5") {
+    std::printf("%s\n", RenderFigure5(RunFigure5Ssbd(options.cpus)).c_str());
+    return 0;
+  }
+  if (command == "sec44") {
+    std::printf("%s\n",
+                RenderSection44(RunSection44Vm(SamplerFor(options), options.cpus)).c_str());
+    return 0;
+  }
+  if (command == "sec45") {
+    std::printf("%s\n",
+                RenderSection45(RunSection45Parsec(SamplerFor(options), options.cpus)).c_str());
+    return 0;
+  }
+  if (command == "fig2-kernels") {
+    // Per-kernel LEBench drill-down: which operations carry the overhead.
+    for (Uarch u : options.cpus) {
+      const CpuModel& cpu = GetCpuModel(u);
+      std::printf("%s: per-kernel overhead of the default mitigation set\n", UarchName(u));
+      for (const std::string& name : LeBench::KernelNames()) {
+        const double def = LeBench::RunKernel(name, cpu, MitigationConfig::Defaults(cpu), 1);
+        const double off = LeBench::RunKernel(name, cpu, MitigationConfig::AllOff(), 2);
+        std::printf("  %-16s %8.0f vs %8.0f cycles/op  (%+.1f%%)\n", name.c_str(), def, off,
+                    (def / off - 1.0) * 100.0);
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  if (command == "attacks") {
+    return RunAttackSuite(options);
+  }
+  std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+  PrintUsage();
+  return 2;
+}
