@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_browser_future"
+  "../bench/bench_ablation_browser_future.pdb"
+  "CMakeFiles/bench_ablation_browser_future.dir/bench_ablation_browser_future.cc.o"
+  "CMakeFiles/bench_ablation_browser_future.dir/bench_ablation_browser_future.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_browser_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_future_hw"
+  "../bench/bench_ablation_future_hw.pdb"
+  "CMakeFiles/bench_ablation_future_hw.dir/bench_ablation_future_hw.cc.o"
+  "CMakeFiles/bench_ablation_future_hw.dir/bench_ablation_future_hw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_future_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pcid"
+  "../bench/bench_ablation_pcid.pdb"
+  "CMakeFiles/bench_ablation_pcid.dir/bench_ablation_pcid.cc.o"
+  "CMakeFiles/bench_ablation_pcid.dir/bench_ablation_pcid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

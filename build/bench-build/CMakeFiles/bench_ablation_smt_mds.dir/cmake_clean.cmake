@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_smt_mds"
+  "../bench/bench_ablation_smt_mds.pdb"
+  "CMakeFiles/bench_ablation_smt_mds.dir/bench_ablation_smt_mds.cc.o"
+  "CMakeFiles/bench_ablation_smt_mds.dir/bench_ablation_smt_mds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smt_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

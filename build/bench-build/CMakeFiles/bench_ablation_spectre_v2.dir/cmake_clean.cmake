@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_spectre_v2"
+  "../bench/bench_ablation_spectre_v2.pdb"
+  "CMakeFiles/bench_ablation_spectre_v2.dir/bench_ablation_spectre_v2.cc.o"
+  "CMakeFiles/bench_ablation_spectre_v2.dir/bench_ablation_spectre_v2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spectre_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_lebench"
+  "../bench/bench_fig2_lebench.pdb"
+  "CMakeFiles/bench_fig2_lebench.dir/bench_fig2_lebench.cc.o"
+  "CMakeFiles/bench_fig2_lebench.dir/bench_fig2_lebench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

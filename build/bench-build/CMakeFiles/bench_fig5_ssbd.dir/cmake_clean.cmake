@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_ssbd"
+  "../bench/bench_fig5_ssbd.pdb"
+  "CMakeFiles/bench_fig5_ssbd.dir/bench_fig5_ssbd.cc.o"
+  "CMakeFiles/bench_fig5_ssbd.dir/bench_fig5_ssbd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ssbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

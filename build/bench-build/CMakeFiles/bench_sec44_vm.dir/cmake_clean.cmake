@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec44_vm"
+  "../bench/bench_sec44_vm.pdb"
+  "CMakeFiles/bench_sec44_vm.dir/bench_sec44_vm.cc.o"
+  "CMakeFiles/bench_sec44_vm.dir/bench_sec44_vm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec44_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

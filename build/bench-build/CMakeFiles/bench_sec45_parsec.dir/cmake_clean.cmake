@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec45_parsec"
+  "../bench/bench_sec45_parsec.pdb"
+  "CMakeFiles/bench_sec45_parsec.dir/bench_sec45_parsec.cc.o"
+  "CMakeFiles/bench_sec45_parsec.dir/bench_sec45_parsec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec45_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

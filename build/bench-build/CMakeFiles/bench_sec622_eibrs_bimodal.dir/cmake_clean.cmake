@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec622_eibrs_bimodal"
+  "../bench/bench_sec622_eibrs_bimodal.pdb"
+  "CMakeFiles/bench_sec622_eibrs_bimodal.dir/bench_sec622_eibrs_bimodal.cc.o"
+  "CMakeFiles/bench_sec622_eibrs_bimodal.dir/bench_sec622_eibrs_bimodal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec622_eibrs_bimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

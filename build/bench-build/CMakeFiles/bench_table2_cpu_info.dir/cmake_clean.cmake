@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cpu_info"
+  "../bench/bench_table2_cpu_info.pdb"
+  "CMakeFiles/bench_table2_cpu_info.dir/bench_table2_cpu_info.cc.o"
+  "CMakeFiles/bench_table2_cpu_info.dir/bench_table2_cpu_info.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cpu_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

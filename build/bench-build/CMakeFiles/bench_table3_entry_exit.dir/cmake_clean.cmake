@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_entry_exit"
+  "../bench/bench_table3_entry_exit.pdb"
+  "CMakeFiles/bench_table3_entry_exit.dir/bench_table3_entry_exit.cc.o"
+  "CMakeFiles/bench_table3_entry_exit.dir/bench_table3_entry_exit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_entry_exit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

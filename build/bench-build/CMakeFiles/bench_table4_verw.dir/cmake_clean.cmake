@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_verw"
+  "../bench/bench_table4_verw.pdb"
+  "CMakeFiles/bench_table4_verw.dir/bench_table4_verw.cc.o"
+  "CMakeFiles/bench_table4_verw.dir/bench_table4_verw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_verw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

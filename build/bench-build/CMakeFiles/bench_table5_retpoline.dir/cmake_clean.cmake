@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_retpoline"
+  "../bench/bench_table5_retpoline.pdb"
+  "CMakeFiles/bench_table5_retpoline.dir/bench_table5_retpoline.cc.o"
+  "CMakeFiles/bench_table5_retpoline.dir/bench_table5_retpoline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_retpoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_ibpb"
+  "../bench/bench_table6_ibpb.pdb"
+  "CMakeFiles/bench_table6_ibpb.dir/bench_table6_ibpb.cc.o"
+  "CMakeFiles/bench_table6_ibpb.dir/bench_table6_ibpb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ibpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_rsb"
+  "../bench/bench_table7_rsb.pdb"
+  "CMakeFiles/bench_table7_rsb.dir/bench_table7_rsb.cc.o"
+  "CMakeFiles/bench_table7_rsb.dir/bench_table7_rsb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_rsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_lfence"
+  "../bench/bench_table8_lfence.pdb"
+  "CMakeFiles/bench_table8_lfence.dir/bench_table8_lfence.cc.o"
+  "CMakeFiles/bench_table8_lfence.dir/bench_table8_lfence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_lfence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

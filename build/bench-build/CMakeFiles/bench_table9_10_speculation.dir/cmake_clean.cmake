@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_10_speculation"
+  "../bench/bench_table9_10_speculation.pdb"
+  "CMakeFiles/bench_table9_10_speculation.dir/bench_table9_10_speculation.cc.o"
+  "CMakeFiles/bench_table9_10_speculation.dir/bench_table9_10_speculation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_10_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_tenant.dir/cloud_tenant.cpp.o"
+  "CMakeFiles/cloud_tenant.dir/cloud_tenant.cpp.o.d"
+  "cloud_tenant"
+  "cloud_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_tuner.dir/mitigation_tuner.cpp.o"
+  "CMakeFiles/mitigation_tuner.dir/mitigation_tuner.cpp.o.d"
+  "mitigation_tuner"
+  "mitigation_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attacks.cc" "src/attack/CMakeFiles/specbench_attack.dir/attacks.cc.o" "gcc" "src/attack/CMakeFiles/specbench_attack.dir/attacks.cc.o.d"
+  "/root/repo/src/attack/side_channel.cc" "src/attack/CMakeFiles/specbench_attack.dir/side_channel.cc.o" "gcc" "src/attack/CMakeFiles/specbench_attack.dir/side_channel.cc.o.d"
+  "/root/repo/src/attack/speculation_probe.cc" "src/attack/CMakeFiles/specbench_attack.dir/speculation_probe.cc.o" "gcc" "src/attack/CMakeFiles/specbench_attack.dir/speculation_probe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/specbench_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/specbench_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/specbench_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_attack.dir/attacks.cc.o"
+  "CMakeFiles/specbench_attack.dir/attacks.cc.o.d"
+  "CMakeFiles/specbench_attack.dir/side_channel.cc.o"
+  "CMakeFiles/specbench_attack.dir/side_channel.cc.o.d"
+  "CMakeFiles/specbench_attack.dir/speculation_probe.cc.o"
+  "CMakeFiles/specbench_attack.dir/speculation_probe.cc.o.d"
+  "libspecbench_attack.a"
+  "libspecbench_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_core.dir/attribution.cc.o"
+  "CMakeFiles/specbench_core.dir/attribution.cc.o.d"
+  "CMakeFiles/specbench_core.dir/experiments.cc.o"
+  "CMakeFiles/specbench_core.dir/experiments.cc.o.d"
+  "CMakeFiles/specbench_core.dir/microbench.cc.o"
+  "CMakeFiles/specbench_core.dir/microbench.cc.o.d"
+  "CMakeFiles/specbench_core.dir/paper_expectations.cc.o"
+  "CMakeFiles/specbench_core.dir/paper_expectations.cc.o.d"
+  "libspecbench_core.a"
+  "libspecbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_cpu.dir/cpu_model.cc.o"
+  "CMakeFiles/specbench_cpu.dir/cpu_model.cc.o.d"
+  "libspecbench_cpu.a"
+  "libspecbench_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/specbench_hv.dir/hypervisor.cc.o.d"
+  "libspecbench_hv.a"
+  "libspecbench_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

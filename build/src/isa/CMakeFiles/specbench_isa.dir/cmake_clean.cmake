@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_isa.dir/isa.cc.o"
+  "CMakeFiles/specbench_isa.dir/isa.cc.o.d"
+  "CMakeFiles/specbench_isa.dir/program.cc.o"
+  "CMakeFiles/specbench_isa.dir/program.cc.o.d"
+  "libspecbench_isa.a"
+  "libspecbench_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

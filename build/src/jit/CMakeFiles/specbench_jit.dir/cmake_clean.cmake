@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_jit.dir/jit.cc.o"
+  "CMakeFiles/specbench_jit.dir/jit.cc.o.d"
+  "libspecbench_jit.a"
+  "libspecbench_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_os.dir/kernel.cc.o"
+  "CMakeFiles/specbench_os.dir/kernel.cc.o.d"
+  "CMakeFiles/specbench_os.dir/mitigation_config.cc.o"
+  "CMakeFiles/specbench_os.dir/mitigation_config.cc.o.d"
+  "CMakeFiles/specbench_os.dir/paging.cc.o"
+  "CMakeFiles/specbench_os.dir/paging.cc.o.d"
+  "libspecbench_os.a"
+  "libspecbench_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_stats.dir/sampler.cc.o"
+  "CMakeFiles/specbench_stats.dir/sampler.cc.o.d"
+  "CMakeFiles/specbench_stats.dir/summary.cc.o"
+  "CMakeFiles/specbench_stats.dir/summary.cc.o.d"
+  "libspecbench_stats.a"
+  "libspecbench_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_uarch.dir/cache.cc.o"
+  "CMakeFiles/specbench_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/specbench_uarch.dir/machine.cc.o"
+  "CMakeFiles/specbench_uarch.dir/machine.cc.o.d"
+  "CMakeFiles/specbench_uarch.dir/memory.cc.o"
+  "CMakeFiles/specbench_uarch.dir/memory.cc.o.d"
+  "CMakeFiles/specbench_uarch.dir/predictors.cc.o"
+  "CMakeFiles/specbench_uarch.dir/predictors.cc.o.d"
+  "libspecbench_uarch.a"
+  "libspecbench_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

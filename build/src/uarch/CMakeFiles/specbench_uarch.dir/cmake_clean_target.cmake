@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspecbench_uarch.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_util.dir/rng.cc.o"
+  "CMakeFiles/specbench_util.dir/rng.cc.o.d"
+  "CMakeFiles/specbench_util.dir/text_table.cc.o"
+  "CMakeFiles/specbench_util.dir/text_table.cc.o.d"
+  "libspecbench_util.a"
+  "libspecbench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specbench_workload.dir/lebench.cc.o"
+  "CMakeFiles/specbench_workload.dir/lebench.cc.o.d"
+  "CMakeFiles/specbench_workload.dir/lfs.cc.o"
+  "CMakeFiles/specbench_workload.dir/lfs.cc.o.d"
+  "CMakeFiles/specbench_workload.dir/measurement.cc.o"
+  "CMakeFiles/specbench_workload.dir/measurement.cc.o.d"
+  "CMakeFiles/specbench_workload.dir/octane.cc.o"
+  "CMakeFiles/specbench_workload.dir/octane.cc.o.d"
+  "CMakeFiles/specbench_workload.dir/parsec.cc.o"
+  "CMakeFiles/specbench_workload.dir/parsec.cc.o.d"
+  "libspecbench_workload.a"
+  "libspecbench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specbench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

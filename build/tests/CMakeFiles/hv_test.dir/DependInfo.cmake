@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv_test.cc" "tests/CMakeFiles/hv_test.dir/hv_test.cc.o" "gcc" "tests/CMakeFiles/hv_test.dir/hv_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/specbench_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/specbench_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/specbench_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/specbench_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/specbench_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

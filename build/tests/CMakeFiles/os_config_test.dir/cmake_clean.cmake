@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_config_test.dir/os_config_test.cc.o"
+  "CMakeFiles/os_config_test.dir/os_config_test.cc.o.d"
+  "os_config_test"
+  "os_config_test.pdb"
+  "os_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_paging_test.dir/os_paging_test.cc.o"
+  "CMakeFiles/os_paging_test.dir/os_paging_test.cc.o.d"
+  "os_paging_test"
+  "os_paging_test.pdb"
+  "os_paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_machine_test.dir/uarch_machine_test.cc.o"
+  "CMakeFiles/uarch_machine_test.dir/uarch_machine_test.cc.o.d"
+  "uarch_machine_test"
+  "uarch_machine_test.pdb"
+  "uarch_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_predictors_test.dir/uarch_predictors_test.cc.o"
+  "CMakeFiles/uarch_predictors_test.dir/uarch_predictors_test.cc.o.d"
+  "uarch_predictors_test"
+  "uarch_predictors_test.pdb"
+  "uarch_predictors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_predictors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_speculation_test.dir/uarch_speculation_test.cc.o"
+  "CMakeFiles/uarch_speculation_test.dir/uarch_speculation_test.cc.o.d"
+  "uarch_speculation_test"
+  "uarch_speculation_test.pdb"
+  "uarch_speculation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_speculation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_model_test[1]_include.cmake")
+include("/root/repo/build/tests/uarch_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/uarch_predictors_test[1]_include.cmake")
+include("/root/repo/build/tests/uarch_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/uarch_speculation_test[1]_include.cmake")
+include("/root/repo/build/tests/os_paging_test[1]_include.cmake")
+include("/root/repo/build/tests/os_config_test[1]_include.cmake")
+include("/root/repo/build/tests/os_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_test[1]_include.cmake")
+include("/root/repo/build/tests/jit_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/uarch_machine_edge_test[1]_include.cmake")

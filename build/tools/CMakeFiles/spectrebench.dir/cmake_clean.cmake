@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrebench.dir/spectrebench_cli.cc.o"
+  "CMakeFiles/spectrebench.dir/spectrebench_cli.cc.o.d"
+  "spectrebench"
+  "spectrebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
