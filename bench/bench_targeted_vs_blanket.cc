@@ -1,0 +1,221 @@
+// Targeted vs blanket Spectre V1 hardening (the paper's §6.4 lfence story):
+// blanket compilation fences every conditional-branch edge, while the static
+// analyzer lets us fence only the flagged gadget loads. This benchmark runs
+// both rewrites over representative workloads on every CPU model and reports
+// the overhead each one adds on top of the unmitigated baseline.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/analysis/detectors.h"
+#include "src/analysis/rewriter.h"
+#include "src/cpu/cpu_model.h"
+#include "src/isa/program.h"
+#include "src/jit/jit.h"
+#include "src/uarch/machine.h"
+
+namespace {
+
+using namespace specbench;
+
+constexpr uint64_t kArrayBase = 0x42000000;
+constexpr uint64_t kLenAddr = 0x41000000;
+constexpr int64_t kIterations = 512;
+constexpr uint64_t kArrayLen = 64;
+
+// Hot bounds-checked loop, in-bounds by construction: the blanket pass
+// fences both edges of the loop's checks; the analyzer proves the indices
+// clean and inserts nothing.
+Program BuildBoundsCheckedSum() {
+  ProgramBuilder b;
+  Label loop = b.NewLabel();
+  Label body = b.NewLabel();
+  Label skip = b.NewLabel();
+  b.BindSymbol("entry");
+  b.MovImm(1, static_cast<int64_t>(kArrayBase));
+  b.MovImm(2, 0);                       // i
+  b.MovImm(3, kIterations);
+  b.MovImm(5, 0);                       // sum
+  b.MovImm(10, static_cast<int64_t>(kLenAddr));
+  b.Bind(loop);
+  b.AluImm(AluOp::kAnd, 6, 2, kArrayLen - 1);  // idx = i % len
+  b.Load(7, MemRef{.base = 10});               // len (the bounds check)
+  b.Alu(AluOp::kCmpLt, 8, 6, 7);
+  b.BranchNz(8, body);
+  b.Jmp(skip);
+  b.Bind(body);
+  b.Load(4, MemRef{.base = 1, .index = 6, .scale = 8});
+  b.Alu(AluOp::kAdd, 5, 5, 4);
+  b.Bind(skip);
+  b.AluImm(AluOp::kAdd, 2, 2, 1);
+  b.Alu(AluOp::kCmpLt, 9, 2, 3);
+  b.BranchNz(9, loop);
+  b.Halt();
+  return b.Build();
+}
+
+// The same hot loop preceded by one real V1 gadget on the function argument
+// (r0): the analyzer flags exactly that load, so targeted hardening pays for
+// one fence while blanket hardening still fences every loop iteration.
+Program BuildGadgetPlusLoop() {
+  ProgramBuilder b;
+  Label in_bounds = b.NewLabel();
+  Label loop = b.NewLabel();
+  b.BindSymbol("entry");
+  b.MovImm(10, static_cast<int64_t>(kLenAddr));
+  b.Load(11, MemRef{.base = 10});
+  b.Alu(AluOp::kCmpLt, 12, 0, 11);  // r0: caller-controlled index
+  b.BranchNz(12, in_bounds);
+  b.Bind(in_bounds);
+  b.MovImm(1, static_cast<int64_t>(kArrayBase));
+  b.Load(13, MemRef{.base = 1, .index = 0, .scale = 8});
+  b.AluImm(AluOp::kAnd, 13, 13, kArrayLen - 1);  // arch-safe, still tainted
+  b.Load(14, MemRef{.base = 1, .index = 13, .scale = 8});  // dependent load
+  b.Alu(AluOp::kAdd, 5, 5, 14);
+  // Hot loop (clean indices).
+  b.MovImm(2, 0);
+  b.MovImm(3, kIterations);
+  b.Bind(loop);
+  b.AluImm(AluOp::kAnd, 6, 2, kArrayLen - 1);
+  b.Load(4, MemRef{.base = 1, .index = 6, .scale = 8});
+  b.Alu(AluOp::kAdd, 5, 5, 4);
+  b.AluImm(AluOp::kAdd, 2, 2, 1);
+  b.Alu(AluOp::kCmpLt, 9, 2, 3);
+  b.BranchNz(9, loop);
+  b.Halt();
+  return b.Build();
+}
+
+// Branch-heavy data-dependent code with no memory gadget at all: the worst
+// case for blanket fencing.
+Program BuildBranchHeavy() {
+  ProgramBuilder b;
+  Label loop = b.NewLabel();
+  Label even = b.NewLabel();
+  Label join = b.NewLabel();
+  Label small = b.NewLabel();
+  Label join2 = b.NewLabel();
+  b.BindSymbol("entry");
+  b.MovImm(2, 0);
+  b.MovImm(3, kIterations);
+  b.MovImm(5, 1);
+  b.Bind(loop);
+  b.AluImm(AluOp::kAnd, 6, 2, 1);
+  b.BranchZ(6, even);
+  b.AluImm(AluOp::kAdd, 5, 5, 3);
+  b.Jmp(join);
+  b.Bind(even);
+  b.AluImm(AluOp::kXor, 5, 5, 7);
+  b.Bind(join);
+  b.AluImm(AluOp::kAnd, 7, 5, 255);
+  b.AluImm(AluOp::kCmpLt, 8, 7, 128);
+  b.BranchNz(8, small);
+  b.AluImm(AluOp::kAdd, 5, 5, 3);
+  b.Bind(small);
+  b.Jmp(join2);
+  b.Bind(join2);
+  b.AluImm(AluOp::kAdd, 2, 2, 1);
+  b.Alu(AluOp::kCmpLt, 9, 2, 3);
+  b.BranchNz(9, loop);
+  b.Halt();
+  return b.Build();
+}
+
+// Octane-style JIT sandbox code: unmitigated JS array accesses (the engine's
+// index-masking pass turned off), where the first access uses the untrusted
+// caller argument and feeds a second element access — the in-process leak
+// the paper's JIT mitigations target. The hot loop's indices are clean.
+constexpr uint64_t kJsHeapBase = 0x60000000;
+
+Program BuildJsGetElemLoop() {
+  ProgramBuilder b;
+  JsEmitter js(b, JitConfig::AllOff());
+  Label loop = b.NewLabel();
+  b.BindSymbol("entry");
+  b.MovImm(1, static_cast<int64_t>(kJsHeapBase));           // arr1
+  b.MovImm(2, static_cast<int64_t>(kJsHeapBase + 8 * 17));  // arr2
+  js.GetElem(4, 1, 0);  // v = arr1[r0], r0 caller-controlled
+  js.GetElem(5, 2, 4);  // arr2[v]: the dependent access
+  b.MovImm(6, 0);
+  b.MovImm(7, kIterations);
+  b.MovImm(10, 0);
+  b.Bind(loop);
+  b.AluImm(AluOp::kAnd, 8, 6, 15);
+  js.GetElem(9, 1, 8);
+  b.Alu(AluOp::kAdd, 10, 10, 9);
+  b.AluImm(AluOp::kAdd, 6, 6, 1);
+  b.Alu(AluOp::kCmpLt, 9, 6, 7);
+  b.BranchNz(9, loop);
+  b.Halt();
+  return b.Build();
+}
+
+void SetupFlatArray(Machine& m) {
+  for (uint64_t i = 0; i < kArrayLen; i++) {
+    m.PokeData(kArrayBase + 8 * i, i);
+  }
+  m.PokeData(kLenAddr, kArrayLen);
+}
+
+void SetupJsHeap(Machine& m) {
+  JsHeap heap(kJsHeapBase, 4096);
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 16; i++) {
+    values.push_back((i * 3) % 16);
+  }
+  heap.AllocArray(m, values);  // arr1 at kJsHeapBase
+  heap.AllocArray(m, values);  // arr2 right after
+}
+
+struct Workload {
+  const char* name;
+  Program program;
+  void (*setup)(Machine&);
+};
+
+uint64_t RunCycles(const CpuModel& cpu, const Workload& w, const Program& p) {
+  Machine m(cpu);
+  m.LoadProgram(&p);
+  w.setup(m);
+  m.SetReg(0, 3);  // in-bounds "caller argument" for the gadget workloads
+  return m.Run(p.SymbolVaddr("entry")).cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Workload> workloads;
+  workloads.push_back({"bounds-checked-sum", BuildBoundsCheckedSum(), SetupFlatArray});
+  workloads.push_back({"gadget-plus-loop", BuildGadgetPlusLoop(), SetupFlatArray});
+  workloads.push_back({"branch-heavy", BuildBranchHeavy(), SetupFlatArray});
+  workloads.push_back({"js-getelem-loop", BuildJsGetElemLoop(), SetupJsHeap});
+
+  std::printf("Targeted (analyzer-guided) vs blanket lfence hardening\n");
+  std::printf("%-16s %-20s %10s %10s %10s %9s %9s %7s\n", "CPU", "workload", "base",
+              "targeted", "blanket", "tgt-ovh", "blk-ovh", "fences");
+  int wins = 0, total = 0;
+  for (Uarch u : AllUarches()) {
+    const CpuModel& cpu = GetCpuModel(u);
+    for (const Workload& w : workloads) {
+      const AnalysisResult analysis = Analyze(w.program, cpu);
+      const RewriteResult targeted = HardenTargeted(w.program, analysis);
+      const RewriteResult blanket = HardenBlanket(w.program);
+      const uint64_t base = RunCycles(cpu, w, w.program);
+      const uint64_t tgt = RunCycles(cpu, w, targeted.program);
+      const uint64_t blk = RunCycles(cpu, w, blanket.program);
+      const double tgt_ovh = (static_cast<double>(tgt) / static_cast<double>(base) - 1.0) * 100.0;
+      const double blk_ovh = (static_cast<double>(blk) / static_cast<double>(base) - 1.0) * 100.0;
+      std::printf("%-16s %-20s %10llu %10llu %10llu %8.1f%% %8.1f%% %3d/%-3d\n",
+                  UarchName(u), w.name, static_cast<unsigned long long>(base),
+                  static_cast<unsigned long long>(tgt), static_cast<unsigned long long>(blk),
+                  tgt_ovh, blk_ovh, targeted.inserted, blanket.inserted);
+      total++;
+      if (tgt < blk) {
+        wins++;
+      }
+    }
+  }
+  std::printf("\ntargeted strictly cheaper than blanket on %d/%d workload/CPU pairs\n", wins,
+              total);
+  return wins > 0 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+#include "src/analysis/crossval.h"
+
+#include <set>
+
+#include "src/analysis/rewriter.h"
+
+namespace specbench {
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kTruePositive:
+      return "true-positive";
+    case Verdict::kFalsePositive:
+      return "false-positive";
+  }
+  return "?";
+}
+
+bool FindingKindApplies(FindingKind kind, const CpuModel& cpu) {
+  switch (kind) {
+    case FindingKind::kSpectreV1Gadget:
+      return cpu.vuln.spectre_v1;
+    case FindingKind::kUnprotectedIndirectBranch:
+      return cpu.vuln.spectre_v2 && !cpu.predictor.eibrs;
+    case FindingKind::kRsbImbalance:
+      return cpu.vuln.spectre_v2;
+    case FindingKind::kSsbGadget:
+      return cpu.vuln.spec_store_bypass;
+    case FindingKind::kMissingBufferClear:
+      return cpu.vuln.mds || cpu.vuln.l1tf;
+    case FindingKind::kMissingKptiCr3Switch:
+      return cpu.vuln.meltdown;
+    case FindingKind::kCount:
+      break;
+  }
+  return false;
+}
+
+CrossValidationResult CrossValidate(const CorpusEntry& entry, const CpuModel& cpu,
+                                    const AnalysisResult& analysis) {
+  CrossValidationResult result;
+  result.entry = entry.name;
+  result.leak_observed = entry.replay(cpu, entry.program);
+
+  std::set<FindingKind> expected;
+  for (FindingKind kind : entry.expected) {
+    if (FindingKindApplies(kind, cpu)) {
+      expected.insert(kind);
+    }
+  }
+
+  for (const Finding& f : analysis.findings) {
+    ValidatedFinding vf{f, Verdict::kFalsePositive};
+    if (result.leak_observed && expected.count(f.kind) != 0) {
+      vf.verdict = Verdict::kTruePositive;
+      result.true_positives++;
+    } else {
+      result.false_positives++;
+    }
+    result.findings.push_back(vf);
+  }
+
+  if (result.leak_observed) {
+    for (FindingKind kind : expected) {
+      if (!analysis.Has(kind)) {
+        result.false_negatives++;
+      }
+    }
+  }
+
+  // Prove the targeted rewrite out: re-run the same attacker scenario
+  // against the hardened program and require the leak to be gone.
+  if (analysis.Has(FindingKind::kSpectreV1Gadget)) {
+    RewriteResult hardened = HardenTargeted(entry.program, analysis);
+    result.validated_rewrite = true;
+    result.leak_after_targeted = entry.replay(cpu, hardened.program);
+  }
+
+  return result;
+}
+
+}  // namespace specbench

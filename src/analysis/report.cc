@@ -1,0 +1,149 @@
+#include "src/analysis/report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/isa/isa.h"
+
+namespace specbench {
+
+namespace {
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendFindingJson(std::string& out, const Finding& f, const char* verdict) {
+  Appendf(out, "{\"kind\":\"%s\",\"index\":%d,\"vaddr\":\"0x%" PRIx64
+               "\",\"aux_index\":%d,\"detail\":\"%s\"",
+          FindingKindName(f.kind), f.index, f.vaddr, f.aux_index,
+          JsonEscape(f.detail).c_str());
+  if (verdict != nullptr) {
+    Appendf(out, ",\"verdict\":\"%s\"", verdict);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string RenderFindingsText(const AnalysisResult& analysis, const Program& program) {
+  std::string out;
+  Appendf(out, "  %d instructions, %d basic blocks, %zu finding(s)\n",
+          analysis.num_instructions, analysis.num_blocks, analysis.findings.size());
+  for (const Finding& f : analysis.findings) {
+    const char* op = (f.index >= 0 && f.index < program.size())
+                         ? OpName(program.at(f.index).op)
+                         : "?";
+    Appendf(out, "  [%-26s] @%-3d (0x%" PRIx64 ", %s)", FindingKindName(f.kind),
+            f.index, f.vaddr, op);
+    if (f.aux_index >= 0) {
+      Appendf(out, " aux=@%d", f.aux_index);
+    }
+    Appendf(out, ": %s\n", f.detail.c_str());
+  }
+  return out;
+}
+
+std::string RenderCorpusText(const CorpusReport& report) {
+  std::string out;
+  Appendf(out, "=== analyze: %s ===\n", report.cpu_name.c_str());
+  int tp = 0, fp = 0, fn = 0;
+  for (const CorpusReportEntry& e : report.entries) {
+    Appendf(out, "%-20s %-52s leak=%-3s findings=%zu\n", e.name.c_str(),
+            e.description.c_str(), e.xval.leak_observed ? "yes" : "no",
+            e.analysis.findings.size());
+    for (const ValidatedFinding& vf : e.xval.findings) {
+      const Finding& f = vf.finding;
+      Appendf(out, "    %-26s @%-3d %s  [%s]\n", FindingKindName(f.kind), f.index,
+              f.detail.c_str(), VerdictName(vf.verdict));
+    }
+    if (e.xval.validated_rewrite) {
+      Appendf(out, "    targeted rewrite: leak %s\n",
+              e.xval.leak_after_targeted ? "STILL PRESENT" : "eliminated");
+    }
+    tp += e.xval.true_positives;
+    fp += e.xval.false_positives;
+    fn += e.xval.false_negatives;
+  }
+  Appendf(out, "cross-validation: %d true positive(s), %d false positive(s), "
+               "%d false negative(s)\n",
+          tp, fp, fn);
+  return out;
+}
+
+std::string RenderCorpusJson(const CorpusReport& report) {
+  std::string out;
+  Appendf(out, "{\"cpu\":\"%s\",\"entries\":[", JsonEscape(report.cpu_name).c_str());
+  bool first_entry = true;
+  for (const CorpusReportEntry& e : report.entries) {
+    if (!first_entry) {
+      out += ",";
+    }
+    first_entry = false;
+    Appendf(out, "{\"name\":\"%s\",\"description\":\"%s\",\"leak_observed\":%s,"
+                 "\"true_positives\":%d,\"false_positives\":%d,"
+                 "\"false_negatives\":%d,",
+            JsonEscape(e.name).c_str(), JsonEscape(e.description).c_str(),
+            e.xval.leak_observed ? "true" : "false", e.xval.true_positives,
+            e.xval.false_positives, e.xval.false_negatives);
+    if (e.xval.validated_rewrite) {
+      Appendf(out, "\"leak_after_targeted\":%s,",
+              e.xval.leak_after_targeted ? "true" : "false");
+    }
+    out += "\"findings\":[";
+    bool first_finding = true;
+    for (const ValidatedFinding& vf : e.xval.findings) {
+      if (!first_finding) {
+        out += ",";
+      }
+      first_finding = false;
+      AppendFindingJson(out, vf.finding, VerdictName(vf.verdict));
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderCorpusJsonMulti(const std::vector<CorpusReport>& reports) {
+  std::string out = "[";
+  bool first = true;
+  for (const CorpusReport& r : reports) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += RenderCorpusJson(r);
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace specbench

@@ -1,0 +1,39 @@
+// Text and JSON rendering for analyzer findings and corpus cross-validation
+// results (consumed by the `spectrebench analyze` subcommand).
+#ifndef SPECTREBENCH_SRC_ANALYSIS_REPORT_H_
+#define SPECTREBENCH_SRC_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/crossval.h"
+#include "src/analysis/detectors.h"
+#include "src/isa/program.h"
+
+namespace specbench {
+
+struct CorpusReportEntry {
+  std::string name;
+  std::string description;
+  AnalysisResult analysis;
+  CrossValidationResult xval;
+};
+
+struct CorpusReport {
+  std::string cpu_name;
+  std::vector<CorpusReportEntry> entries;
+};
+
+// Findings for one program, one line per finding.
+std::string RenderFindingsText(const AnalysisResult& analysis, const Program& program);
+
+// Full corpus + cross-validation summary for one CPU.
+std::string RenderCorpusText(const CorpusReport& report);
+std::string RenderCorpusJson(const CorpusReport& report);
+
+// Concatenates per-CPU JSON reports into one document.
+std::string RenderCorpusJsonMulti(const std::vector<CorpusReport>& reports);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_ANALYSIS_REPORT_H_

@@ -1,0 +1,81 @@
+#include "src/analysis/rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/isa/isa.h"
+#include "src/util/check.h"
+
+namespace specbench {
+
+RewriteResult InsertLfences(const Program& program, std::vector<int32_t> before_indices) {
+  const int32_t n = program.size();
+  std::set<int32_t> points;
+  for (int32_t i : before_indices) {
+    if (i >= 0 && i < n) {
+      points.insert(i);
+    }
+  }
+
+  // label_map[i]: new index a branch/symbol pointing at original `i` should
+  // use (the fence when one is inserted there, so incoming edges are
+  // protected too).
+  std::vector<int32_t> label_map(static_cast<size_t>(n));
+  std::vector<Instruction> out;
+  out.reserve(static_cast<size_t>(n) + points.size());
+  for (int32_t i = 0; i < n; i++) {
+    if (points.count(i) != 0) {
+      Instruction fence;
+      fence.op = Op::kLfence;
+      label_map[static_cast<size_t>(i)] = static_cast<int32_t>(out.size());
+      out.push_back(fence);
+    } else {
+      label_map[static_cast<size_t>(i)] = static_cast<int32_t>(out.size());
+    }
+    out.push_back(program.at(i));
+  }
+  for (Instruction& in : out) {
+    if (in.target >= 0) {
+      SPECBENCH_CHECK(in.target < n);
+      in.target = label_map[static_cast<size_t>(in.target)];
+    }
+  }
+  std::map<std::string, int32_t> symbols;
+  for (const auto& [name, index] : program.symbols()) {
+    symbols[name] = label_map[static_cast<size_t>(index)];
+  }
+
+  RewriteResult result{Program(std::move(out), program.base_vaddr(), std::move(symbols)),
+                       std::vector<int32_t>(points.begin(), points.end()),
+                       static_cast<int>(points.size())};
+  return result;
+}
+
+RewriteResult HardenTargeted(const Program& program, const AnalysisResult& analysis) {
+  std::vector<int32_t> sites;
+  for (const Finding& f : analysis.OfKind(FindingKind::kSpectreV1Gadget)) {
+    // Fence the secret-producing load: it dominates the whole leak chain.
+    sites.push_back(f.aux_index >= 0 ? f.aux_index : f.index);
+  }
+  return InsertLfences(program, std::move(sites));
+}
+
+RewriteResult HardenBlanket(const Program& program) {
+  std::vector<int32_t> sites;
+  for (int32_t i = 0; i < program.size(); i++) {
+    const Instruction& in = program.at(i);
+    if (!IsConditionalBranch(in.op)) {
+      continue;
+    }
+    if (in.target >= 0) {
+      sites.push_back(in.target);
+    }
+    if (i + 1 < program.size()) {
+      sites.push_back(i + 1);
+    }
+  }
+  return InsertLfences(program, std::move(sites));
+}
+
+}  // namespace specbench

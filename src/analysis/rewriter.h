@@ -1,0 +1,45 @@
+// Mitigation rewriting: lfence insertion over a Program.
+//
+// Two policies, compared by bench_targeted_vs_blanket:
+//   * Blanket — the compiler-style conservative mitigation the paper prices
+//     in Table 8: an lfence on both outcomes of *every* conditional branch,
+//     so no load ever issues under an unresolved bounds check.
+//   * Targeted — an lfence only in front of the secret-producing load of
+//     each Spectre-V1 finding from the analyzer, leaving every other branch
+//     free to speculate.
+//
+// Insertion rebuilds the instruction stream, remapping branch targets and
+// exported symbols. A branch (or symbol) that pointed at instruction `i`
+// lands on the fence inserted before `i`, so jumping into a protected site
+// still executes the fence first.
+#ifndef SPECTREBENCH_SRC_ANALYSIS_REWRITER_H_
+#define SPECTREBENCH_SRC_ANALYSIS_REWRITER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/detectors.h"
+#include "src/isa/program.h"
+
+namespace specbench {
+
+struct RewriteResult {
+  Program program;
+  // Original-program instruction indices a fence was inserted in front of.
+  std::vector<int32_t> sites;
+  int inserted = 0;
+};
+
+// Inserts an lfence before each listed original-instruction index
+// (duplicates ignored), remapping all targets and symbols.
+RewriteResult InsertLfences(const Program& program, std::vector<int32_t> before_indices);
+
+// Lfence in front of every Spectre-V1 finding's secret-producing load.
+RewriteResult HardenTargeted(const Program& program, const AnalysisResult& analysis);
+
+// Lfence on both successors of every conditional branch.
+RewriteResult HardenBlanket(const Program& program);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_ANALYSIS_REWRITER_H_

@@ -364,13 +364,19 @@ const CpuModel& FutureCpuModel() {
   return kFuture;
 }
 
-const CpuModel& GetCpuModelByName(const std::string& uarch_name) {
+const CpuModel* TryGetCpuModelByName(const std::string& uarch_name) {
   for (Uarch uarch : AllUarches()) {
     if (uarch_name == UarchName(uarch)) {
-      return GetCpuModel(uarch);
+      return &GetCpuModel(uarch);
     }
   }
-  SPECBENCH_CHECK_MSG(false, "unknown microarchitecture name");
+  return nullptr;
+}
+
+const CpuModel& GetCpuModelByName(const std::string& uarch_name) {
+  const CpuModel* model = TryGetCpuModelByName(uarch_name);
+  SPECBENCH_CHECK_MSG(model != nullptr, "unknown microarchitecture name");
+  return *model;
 }
 
 }  // namespace specbench

@@ -167,6 +167,10 @@ std::vector<Uarch> AllUarches();
 // e.g. "Zen 2"; aborts on unknown names.
 const CpuModel& GetCpuModelByName(const std::string& uarch_name);
 
+// Like GetCpuModelByName, but returns nullptr on unknown names (for CLI
+// argument validation).
+const CpuModel* TryGetCpuModelByName(const std::string& uarch_name);
+
 // A hypothetical 2023+ part embodying the paper's §7 outlook: Ice Lake
 // Server-class, with the SSB_NO capability the paper notes Intel reserved
 // ("a given processor isn't vulnerable to Speculative Store Bypass") and

@@ -50,6 +50,145 @@ const char* OpName(Op op) {
   return "?";
 }
 
+bool IsConditionalBranch(Op op) { return op == Op::kBranchNz || op == Op::kBranchZ; }
+
+bool IsDirectJump(Op op) { return op == Op::kJmp || op == Op::kCall; }
+
+bool IsIndirectBranch(Op op) { return op == Op::kIndirectJmp || op == Op::kIndirectCall; }
+
+bool IsControlFlow(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kBranchNz:
+    case Op::kBranchZ:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kIndirectJmp:
+    case Op::kIndirectCall:
+    case Op::kSyscall:
+    case Op::kSysret:
+    case Op::kVmEnter:
+    case Op::kVmExit:
+    case Op::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSerializing(Op op) {
+  switch (op) {
+    case Op::kLfence:
+    case Op::kMfence:
+    case Op::kSyscall:
+    case Op::kSysret:
+    case Op::kMovCr3:
+    case Op::kVerw:
+    case Op::kWrmsr:
+    case Op::kRdmsr:
+    case Op::kFlushL1d:
+    case Op::kXsave:
+    case Op::kXrstor:
+    case Op::kCpuid:
+    case Op::kVmEnter:
+    case Op::kVmExit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ReadsMemory(Op op) { return op == Op::kLoad || op == Op::kRet; }
+
+bool WritesMemory(Op op) {
+  return op == Op::kStore || op == Op::kCall || op == Op::kIndirectCall;
+}
+
+int SourceRegs(const Instruction& instr, uint8_t out[5]) {
+  int n = 0;
+  auto add = [&](uint8_t r) {
+    if (r == kNoReg) {
+      return;
+    }
+    for (int i = 0; i < n; i++) {
+      if (out[i] == r) {
+        return;
+      }
+    }
+    out[n++] = r;
+  };
+  switch (instr.op) {
+    case Op::kLoad:
+    case Op::kLea:
+    case Op::kClflush:
+      add(instr.mem.base);
+      add(instr.mem.index);
+      break;
+    case Op::kStore:
+      add(instr.mem.base);
+      add(instr.mem.index);
+      add(instr.src1);
+      break;
+    case Op::kCmov:
+      add(instr.dst);  // kept when the condition is false
+      add(instr.src1);
+      add(instr.src2);
+      break;
+    default:
+      add(instr.src1);
+      if (!instr.use_imm) {
+        add(instr.src2);
+      }
+      break;
+  }
+  return n;
+}
+
+int AddressRegs(const Instruction& instr, uint8_t out[2]) {
+  int n = 0;
+  auto add = [&](uint8_t r) {
+    if (r != kNoReg && (n == 0 || out[0] != r)) {
+      out[n++] = r;
+    }
+  };
+  switch (instr.op) {
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLea:
+    case Op::kClflush:
+      add(instr.mem.base);
+      add(instr.mem.index);
+      break;
+    case Op::kIndirectJmp:
+    case Op::kIndirectCall:
+      add(instr.src1);
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+uint8_t DestReg(const Instruction& instr) {
+  switch (instr.op) {
+    case Op::kMovImm:
+    case Op::kMov:
+    case Op::kAlu:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kCmov:
+    case Op::kLoad:
+    case Op::kLea:
+    case Op::kRdmsr:
+    case Op::kRdtsc:
+    case Op::kRdpmc:
+    case Op::kFpToGp:
+      return instr.dst;
+    default:
+      return kNoReg;
+  }
+}
+
 const char* ModeName(Mode mode) {
   switch (mode) {
     case Mode::kUser: return "user";

@@ -147,6 +147,39 @@ inline bool IsKernelMode(Mode mode) {
 const char* OpName(Op op);
 const char* ModeName(Mode mode);
 
+// --- Static instruction metadata -----------------------------------------
+//
+// Opcode classification used by the static analyzer (src/analysis/). These
+// mirror Machine's execution semantics: IsSerializing matches the set of
+// opcodes that call Serialize() (and therefore also end speculative
+// episodes), and the register accessors mirror the operand readiness rules
+// of Machine::SourcesReadyAt.
+
+// Conditional branches (two successors).
+bool IsConditionalBranch(Op op);
+// kJmp/kCall (statically known target).
+bool IsDirectJump(Op op);
+// kIndirectJmp/kIndirectCall (target from a register, BTB-predicted).
+bool IsIndirectBranch(Op op);
+// Any opcode that redirects control flow (branches, calls, returns, and the
+// privilege transitions whose targets are machine state, plus kHalt).
+bool IsControlFlow(Op op);
+// Opcodes that synchronize issue with the completion frontier; speculation
+// cannot proceed past them.
+bool IsSerializing(Op op);
+// Reads from / writes to data memory through the mem operand.
+bool ReadsMemory(Op op);
+bool WritesMemory(Op op);
+
+// General-purpose source registers of `instr`, including mem base/index;
+// writes at most 5 entries to `out`, returns the count.
+int SourceRegs(const Instruction& instr, uint8_t out[5]);
+// Registers feeding only the memory *address* (base/index of the mem
+// operand, or src1 for indirect branches); at most 2, returns the count.
+int AddressRegs(const Instruction& instr, uint8_t out[2]);
+// The written GPR, or kNoReg. (kCmov both reads and writes dst.)
+uint8_t DestReg(const Instruction& instr);
+
 }  // namespace specbench
 
 #endif  // SPECTREBENCH_SRC_ISA_ISA_H_

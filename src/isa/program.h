@@ -39,6 +39,8 @@ class Program {
   uint64_t SymbolVaddr(const std::string& name) const;
   int32_t SymbolIndex(const std::string& name) const;
   bool HasSymbol(const std::string& name) const;
+  // All exported symbols, name -> instruction index (analyzer entry points).
+  const std::map<std::string, int32_t>& symbols() const { return symbols_; }
 
  private:
   std::vector<Instruction> instructions_;

@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/corpus.h"
+#include "src/analysis/crossval.h"
+#include "src/analysis/detectors.h"
+#include "src/analysis/report.h"
 #include "src/attack/attacks.h"
 #include "src/core/experiments.h"
 #include "src/workload/lebench.h"
@@ -21,6 +25,7 @@ namespace {
 
 struct CliOptions {
   bool fast = false;
+  bool json = false;
   std::vector<Uarch> cpus = AllUarches();
 };
 
@@ -46,14 +51,63 @@ std::vector<Uarch> ParseCpuList(const std::string& list) {
     const std::string name =
         list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
     if (!name.empty()) {
-      cpus.push_back(GetCpuModelByName(name).uarch);  // aborts on unknown names
+      const CpuModel* model = TryGetCpuModelByName(name);
+      if (model == nullptr) {
+        std::fprintf(stderr, "unknown CPU model: \"%s\"\nvalid names:\n", name.c_str());
+        for (Uarch u : AllUarches()) {
+          std::fprintf(stderr, "  %s\n", UarchName(u));
+        }
+        std::exit(2);
+      }
+      cpus.push_back(model->uarch);
     }
     if (comma == std::string::npos) {
       break;
     }
     start = comma + 1;
   }
+  if (cpus.empty()) {
+    std::fprintf(stderr, "--cpus= needs at least one name; valid names:\n");
+    for (Uarch u : AllUarches()) {
+      std::fprintf(stderr, "  %s\n", UarchName(u));
+    }
+    std::exit(2);
+  }
   return cpus;
+}
+
+// Static gadget analysis + simulator cross-validation over the corpus.
+int RunAnalyze(const CliOptions& options) {
+  std::vector<CorpusReport> reports;
+  for (Uarch u : options.cpus) {
+    const CpuModel& cpu = GetCpuModel(u);
+    CorpusReport report;
+    report.cpu_name = UarchName(u);
+    for (const CorpusEntry& entry : BuildGadgetCorpus(cpu.predictor.rsb_depth)) {
+      CorpusReportEntry e;
+      e.name = entry.name;
+      e.description = entry.description;
+      e.analysis = Analyze(entry.program, cpu);
+      e.xval = CrossValidate(entry, cpu, e.analysis);
+      report.entries.push_back(std::move(e));
+    }
+    reports.push_back(std::move(report));
+  }
+
+  int false_negatives = 0;
+  for (const CorpusReport& report : reports) {
+    for (const CorpusReportEntry& e : report.entries) {
+      false_negatives += e.xval.false_negatives;
+    }
+  }
+  if (options.json) {
+    std::printf("%s", RenderCorpusJsonMulti(reports).c_str());
+  } else {
+    for (const CorpusReport& report : reports) {
+      std::printf("%s\n", RenderCorpusText(report).c_str());
+    }
+  }
+  return false_negatives == 0 ? 0 : 1;
 }
 
 int RunAttackSuite(const CliOptions& options) {
@@ -103,7 +157,9 @@ void PrintUsage() {
       "  fig5         SSBD on PARSEC (per CPU)\n"
       "  sec44        VM workloads                     sec45   PARSEC defaults\n"
       "  fig2-kernels per-kernel LEBench overhead drill-down\n"
-      "  attacks      run the full attack ground-truth suite\n");
+      "  attacks      run the full attack ground-truth suite\n"
+      "  analyze      static gadget analysis of the corpus, cross-validated\n"
+      "               against the simulator [--json]\n");
 }
 
 }  // namespace
@@ -119,6 +175,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--fast") {
       options.fast = true;
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (arg.rfind("--cpus=", 0) == 0) {
       options.cpus = ParseCpuList(arg.substr(7));
     } else {
@@ -218,6 +276,9 @@ int main(int argc, char** argv) {
   }
   if (command == "attacks") {
     return RunAttackSuite(options);
+  }
+  if (command == "analyze") {
+    return RunAnalyze(options);
   }
   std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
   PrintUsage();
