@@ -1,19 +1,31 @@
 // Regenerates the paper's Figure 2: LEBench overhead with per-mitigation
 // attribution, across all eight CPUs. The harness follows §4.1: every
 // configuration is re-measured until its 95% CI converges, then mitigations
-// are successively disabled to attribute the slowdown.
+// are successively disabled to attribute the slowdown. Per-CPU cells run on
+// the deterministic parallel runner (--jobs=N, default all cores); output is
+// identical for any job count.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/core/experiments.h"
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  bool csv = false;
+  specbench::RunnerOptions runner;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      runner.jobs = std::atoi(arg.c_str() + 7);
+    }
+  }
   specbench::SamplerOptions options;
   options.min_samples = 5;
   options.max_samples = 20;
   options.target_relative_ci = 0.01;
-  const auto reports = specbench::RunFigure2LeBench(options);
+  const auto reports = specbench::RunFigure2LeBench(options, specbench::AllUarches(), runner);
   if (csv) {
     std::printf("%s\n", specbench::RenderAttributionCsv(reports).c_str());
     return 0;

@@ -1,18 +1,29 @@
 // Regenerates the paper's Figure 3: Octane 2 slowdown split into JavaScript
 // (index masking / object mitigations / other JS) and OS (SSBD / other)
-// mitigations, per CPU.
+// mitigations, per CPU. Per-CPU cells run on the deterministic parallel
+// runner (--jobs=N, default all cores); output is identical for any count.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/core/experiments.h"
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  bool csv = false;
+  specbench::RunnerOptions runner;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      runner.jobs = std::atoi(arg.c_str() + 7);
+    }
+  }
   specbench::SamplerOptions options;
   options.min_samples = 5;
   options.max_samples = 20;
   options.target_relative_ci = 0.01;
-  const auto reports = specbench::RunFigure3Octane(options);
+  const auto reports = specbench::RunFigure3Octane(options, specbench::AllUarches(), runner);
   if (csv) {
     std::printf("%s\n", specbench::RenderAttributionCsv(reports).c_str());
     return 0;

@@ -1,9 +1,12 @@
 // Targeted vs blanket Spectre V1 hardening (the paper's §6.4 lfence story):
 // blanket compilation fences every conditional-branch edge, while the static
-// analyzer lets us fence only the flagged gadget loads. This benchmark runs
-// both rewrites over representative workloads on every CPU model and reports
-// the overhead each one adds on top of the unmitigated baseline.
+// analyzer lets us fence only the flagged gadget loads. This benchmark
+// registers one sweep cell per (CPU, workload, rewrite strategy) with the
+// deterministic parallel runner and reports the overhead each strategy adds
+// on top of the unmitigated baseline. --jobs=N selects the worker count; the
+// results are identical for any N (the simulator itself is seed-free here).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "src/cpu/cpu_model.h"
 #include "src/isa/program.h"
 #include "src/jit/jit.h"
+#include "src/runner/sweep.h"
 #include "src/uarch/machine.h"
 
 namespace {
@@ -169,7 +173,7 @@ void SetupJsHeap(Machine& m) {
 
 struct Workload {
   const char* name;
-  Program program;
+  Program (*build)();
   void (*setup)(Machine&);
 };
 
@@ -181,38 +185,90 @@ uint64_t RunCycles(const CpuModel& cpu, const Workload& w, const Program& p) {
   return m.Run(p.SymbolVaddr("entry")).cycles;
 }
 
+const std::vector<Workload>& Workloads() {
+  static const std::vector<Workload> kWorkloads = {
+      {"bounds-checked-sum", BuildBoundsCheckedSum, SetupFlatArray},
+      {"gadget-plus-loop", BuildGadgetPlusLoop, SetupFlatArray},
+      {"branch-heavy", BuildBranchHeavy, SetupFlatArray},
+      {"js-getelem-loop", BuildJsGetElemLoop, SetupJsHeap},
+  };
+  return kWorkloads;
+}
+
+// One cell per (CPU, workload, rewrite strategy). Each cell rebuilds its
+// program and machine from scratch, so cells share no mutable state and the
+// runner's determinism guarantee holds trivially (the measurement is
+// cycle-exact and seed-free). Metrics: base and hardened cycle counts, the
+// overhead in percent ("total"), and the number of fences inserted.
+Sweep BuildTargetedVsBlanketGrid() {
+  Sweep sweep;
+  for (Uarch u : AllUarches()) {
+    for (const Workload& w : Workloads()) {
+      for (const bool blanket : {false, true}) {
+        sweep.Add(
+            SweepCellKey{UarchName(u), blanket ? "blanket" : "targeted", w.name},
+            [u, &w, blanket](uint64_t /*seed*/) {
+              const CpuModel& cpu = GetCpuModel(u);
+              const Program program = w.build();
+              const RewriteResult rewrite =
+                  blanket ? HardenBlanket(program)
+                          : HardenTargeted(program, Analyze(program, cpu));
+              const double base = static_cast<double>(RunCycles(cpu, w, program));
+              const double hardened =
+                  static_cast<double>(RunCycles(cpu, w, rewrite.program));
+              CellOutput out;
+              out.metrics.push_back(CellMetric{"base", "Unmitigated cycles", {base, 0.0}});
+              out.metrics.push_back(CellMetric{"hardened", "Hardened cycles", {hardened, 0.0}});
+              out.metrics.push_back(
+                  CellMetric{"total", "Overhead", {(hardened / base - 1.0) * 100.0, 0.0}});
+              out.metrics.push_back(CellMetric{
+                  "fences", "lfences inserted", {static_cast<double>(rewrite.inserted), 0.0}});
+              return out;
+            });
+      }
+    }
+  }
+  return sweep;
+}
+
+double Metric(const SweepCellResult& cell, const std::string& id) {
+  for (const CellMetric& metric : cell.output.metrics) {
+    if (metric.id == id) {
+      return metric.estimate.value;
+    }
+  }
+  return 0.0;
+}
+
 }  // namespace
 
-int main() {
-  std::vector<Workload> workloads;
-  workloads.push_back({"bounds-checked-sum", BuildBoundsCheckedSum(), SetupFlatArray});
-  workloads.push_back({"gadget-plus-loop", BuildGadgetPlusLoop(), SetupFlatArray});
-  workloads.push_back({"branch-heavy", BuildBranchHeavy(), SetupFlatArray});
-  workloads.push_back({"js-getelem-loop", BuildJsGetElemLoop(), SetupJsHeap});
+int main(int argc, char** argv) {
+  RunnerOptions runner;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      runner.jobs = std::atoi(arg.c_str() + 7);
+    }
+  }
+  const Sweep sweep = BuildTargetedVsBlanketGrid();
+  const SweepResult result = sweep.Run(runner);
 
   std::printf("Targeted (analyzer-guided) vs blanket lfence hardening\n");
   std::printf("%-16s %-20s %10s %10s %10s %9s %9s %7s\n", "CPU", "workload", "base",
               "targeted", "blanket", "tgt-ovh", "blk-ovh", "fences");
   int wins = 0, total = 0;
-  for (Uarch u : AllUarches()) {
-    const CpuModel& cpu = GetCpuModel(u);
-    for (const Workload& w : workloads) {
-      const AnalysisResult analysis = Analyze(w.program, cpu);
-      const RewriteResult targeted = HardenTargeted(w.program, analysis);
-      const RewriteResult blanket = HardenBlanket(w.program);
-      const uint64_t base = RunCycles(cpu, w, w.program);
-      const uint64_t tgt = RunCycles(cpu, w, targeted.program);
-      const uint64_t blk = RunCycles(cpu, w, blanket.program);
-      const double tgt_ovh = (static_cast<double>(tgt) / static_cast<double>(base) - 1.0) * 100.0;
-      const double blk_ovh = (static_cast<double>(blk) / static_cast<double>(base) - 1.0) * 100.0;
-      std::printf("%-16s %-20s %10llu %10llu %10llu %8.1f%% %8.1f%% %3d/%-3d\n",
-                  UarchName(u), w.name, static_cast<unsigned long long>(base),
-                  static_cast<unsigned long long>(tgt), static_cast<unsigned long long>(blk),
-                  tgt_ovh, blk_ovh, targeted.inserted, blanket.inserted);
-      total++;
-      if (tgt < blk) {
-        wins++;
-      }
+  // Cells were registered targeted-then-blanket per (CPU, workload) pair and
+  // come back in registration order.
+  for (size_t i = 0; i + 1 < result.cells.size(); i += 2) {
+    const SweepCellResult& tgt = result.cells[i];
+    const SweepCellResult& blk = result.cells[i + 1];
+    std::printf("%-16s %-20s %10.0f %10.0f %10.0f %8.1f%% %8.1f%% %3.0f/%-3.0f\n",
+                tgt.key.cpu.c_str(), tgt.key.workload.c_str(), Metric(tgt, "base"),
+                Metric(tgt, "hardened"), Metric(blk, "hardened"), Metric(tgt, "total"),
+                Metric(blk, "total"), Metric(tgt, "fences"), Metric(blk, "fences"));
+    total++;
+    if (Metric(tgt, "hardened") < Metric(blk, "hardened")) {
+      wins++;
     }
   }
   std::printf("\ntargeted strictly cheaper than blanket on %d/%d workload/CPU pairs\n", wins,

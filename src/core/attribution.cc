@@ -1,18 +1,24 @@
 #include "src/core/attribution.h"
 
 #include "src/util/check.h"
+#include "src/util/rng.h"
 
 namespace specbench {
 
 namespace {
 
 // Measures one configuration with the adaptive sampler; the seed changes per
-// sample so the simulated run-to-run noise drives the CI.
+// sample so the simulated run-to-run noise drives the CI. Sampler health is
+// folded into the report.
 Estimate MeasureConfig(const OsMeasureFn& measure, const MitigationConfig& config,
-                       uint64_t seed_base, const SamplerOptions& options) {
+                       uint64_t seed_base, const SamplerOptions& options,
+                       AttributionReport* report) {
   uint64_t seed = seed_base;
   const SampleResult result =
       SampleUntilConverged([&] { return measure(config, seed++); }, options);
+  report->total_samples += result.samples;
+  report->converged = report->converged && result.converged;
+  report->saw_non_finite = report->saw_non_finite || result.saw_non_finite();
   return result.estimate;
 }
 
@@ -86,24 +92,27 @@ double AttributionReport::SegmentSum() const {
 
 AttributionReport AttributeOsMitigations(const CpuModel& cpu, const std::string& workload,
                                          const OsMeasureFn& measure, bool lower_is_better,
-                                         const SamplerOptions& options) {
+                                         const SamplerOptions& options, uint64_t base_seed) {
   AttributionReport report;
   report.cpu = UarchName(cpu.uarch);
   report.workload = workload;
 
+  // Every configuration's sample-seed stream derives from base_seed alone,
+  // so the whole attribution chain is a pure function of its inputs.
+  uint64_t seed_stream = base_seed;
   MitigationConfig config = MitigationConfig::Defaults(cpu);
-  Estimate current = MeasureConfig(measure, config, /*seed_base=*/1000, options);
+  Estimate current = MeasureConfig(measure, config, SplitMix64Next(&seed_stream), options,
+                                   &report);
   const Estimate with_all = current;
 
-  uint64_t seed_base = 2000;
   for (const MitigationKnob& knob : OsMitigationKnobs()) {
     if (!knob.relevant(cpu, config)) {
       continue;
     }
     MitigationConfig next = config;
     knob.disable(&next);
-    const Estimate without = MeasureConfig(measure, next, seed_base, options);
-    seed_base += 1000;
+    const Estimate without =
+        MeasureConfig(measure, next, SplitMix64Next(&seed_stream), options, &report);
     // This knob's contribution: overhead of keeping it on, relative to the
     // configuration with it (and everything later) still enabled.
     const Estimate delta = OverheadPct(current, without, lower_is_better);
@@ -118,7 +127,8 @@ AttributionReport AttributeOsMitigations(const CpuModel& cpu, const std::string&
 
 AttributionReport AttributeBrowserMitigations(const CpuModel& cpu,
                                               const BrowserMeasureFn& measure,
-                                              const SamplerOptions& options) {
+                                              const SamplerOptions& options,
+                                              uint64_t base_seed) {
   AttributionReport report;
   report.cpu = UarchName(cpu.uarch);
   report.workload = "octane2";
@@ -145,22 +155,26 @@ AttributionReport AttributeBrowserMitigations(const CpuModel& cpu,
 
   JitConfig jit = JitConfig::AllOn();
   MitigationConfig os = MitigationConfig::Defaults(cpu);
-  auto measure_current = [&](uint64_t seed_base) {
-    uint64_t seed = seed_base;
-    return SampleUntilConverged([&] { return measure(jit, os, seed++); }, options).estimate;
+  uint64_t seed_stream = base_seed;
+  auto measure_current = [&] {
+    uint64_t seed = SplitMix64Next(&seed_stream);
+    const SampleResult result =
+        SampleUntilConverged([&] { return measure(jit, os, seed++); }, options);
+    report.total_samples += result.samples;
+    report.converged = report.converged && result.converged;
+    report.saw_non_finite = report.saw_non_finite || result.saw_non_finite();
+    return result.estimate;
   };
 
-  Estimate current = measure_current(1000);
+  Estimate current = measure_current();
   const Estimate with_all = current;
-  uint64_t seed_base = 2000;
   for (const Step& step : steps) {
     JitConfig next_jit = jit;
     MitigationConfig next_os = os;
     step.disable(&next_jit, &next_os);
     jit = next_jit;
     os = next_os;
-    const Estimate without = measure_current(seed_base);
-    seed_base += 1000;
+    const Estimate without = measure_current();
     // Octane is higher-is-better: disabling a mitigation raises the score.
     // This step's overhead = (score_without / score_with - 1) * 100.
     report.segments.push_back(

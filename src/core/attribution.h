@@ -52,6 +52,14 @@ struct AttributionReport {
   Estimate total_overhead_pct;
   std::vector<AttributionSegment> segments;  // only knobs with nonzero effect
 
+  // Sampler health, aggregated over every configuration measured: total
+  // sample draws, whether every configuration's CI converged, and whether
+  // any measurement returned a non-finite value (surfaced rather than
+  // silently poisoning the estimates; see SampleResult).
+  size_t total_samples = 0;
+  bool converged = true;
+  bool saw_non_finite = false;
+
   // Sum of segment midpoints (== total up to measurement error).
   double SegmentSum() const;
 };
@@ -61,11 +69,18 @@ struct AttributionReport {
 // cost for the whole workload.
 using OsMeasureFn = std::function<double(const MitigationConfig&, uint64_t seed)>;
 
+// Default `base_seed` for the attribution sweeps below. Seeds for the
+// per-configuration measurements are derived from the base via SplitMix64,
+// so a caller (e.g. a parallel sweep cell) can substitute its own
+// deterministic seed and get results independent of execution order.
+inline constexpr uint64_t kDefaultAttributionSeed = 1000;
+
 // Successively disables knobs on top of the CPU's default configuration.
 // `lower_is_better` selects cost (cycles) vs score (Octane) semantics.
 AttributionReport AttributeOsMitigations(const CpuModel& cpu, const std::string& workload,
                                          const OsMeasureFn& measure, bool lower_is_better,
-                                         const SamplerOptions& options = SamplerOptions());
+                                         const SamplerOptions& options = SamplerOptions(),
+                                         uint64_t base_seed = kDefaultAttributionSeed);
 
 // Browser-side attribution (Figure 3): sweeps the JIT mitigations (index
 // masking, object guards, other JavaScript) and then the OS-side knobs that
@@ -75,7 +90,8 @@ using BrowserMeasureFn =
 
 AttributionReport AttributeBrowserMitigations(const CpuModel& cpu,
                                               const BrowserMeasureFn& measure,
-                                              const SamplerOptions& options = SamplerOptions());
+                                              const SamplerOptions& options = SamplerOptions(),
+                                              uint64_t base_seed = kDefaultAttributionSeed);
 
 }  // namespace specbench
 

@@ -121,20 +121,9 @@ std::string RenderTable2CpuInfo() {
   return "Table 2. The CPUs the simulator models.\n\n" + t.Render();
 }
 
-std::vector<AttributionReport> RunFigure2LeBench(const SamplerOptions& options,
-                                                 const std::vector<Uarch>& cpus) {
-  std::vector<AttributionReport> reports;
-  for (Uarch u : cpus) {
-    const CpuModel& cpu = GetCpuModel(u);
-    reports.push_back(AttributeOsMitigations(
-        cpu, "lebench",
-        [&cpu](const MitigationConfig& config, uint64_t seed) {
-          return LeBench::SuiteGeomean(LeBench::RunSuite(cpu, config, seed));
-        },
-        /*lower_is_better=*/true, options));
-  }
-  return reports;
-}
+// RunFigure2LeBench / RunFigure3Octane / RunSection45Parsec live in
+// sweep_grids.cc: their cell grids are registered with the deterministic
+// parallel runner instead of looping serially here.
 
 std::string RenderFigure2(const std::vector<AttributionReport>& reports) {
   std::vector<Bar> bars;
@@ -166,21 +155,6 @@ std::string RenderAttributionCsv(const std::vector<AttributionReport>& reports) 
                     FormatDouble(report.total_overhead_pct.ci95, 3)});
   }
   return RenderCsv({"cpu", "workload", "mitigation", "overhead_pct", "ci95"}, rows);
-}
-
-std::vector<AttributionReport> RunFigure3Octane(const SamplerOptions& options,
-                                                const std::vector<Uarch>& cpus) {
-  std::vector<AttributionReport> reports;
-  for (Uarch u : cpus) {
-    const CpuModel& cpu = GetCpuModel(u);
-    reports.push_back(AttributeBrowserMitigations(
-        cpu,
-        [&cpu](const JitConfig& jit, const MitigationConfig& os, uint64_t seed) {
-          return Octane::SuiteScore(Octane::RunSuite(cpu, jit, os, seed));
-        },
-        options));
-  }
-  return reports;
 }
 
 std::string RenderFigure3(const std::vector<AttributionReport>& reports) {
@@ -309,37 +283,6 @@ std::string RenderSection44(const std::vector<VmWorkloadResult>& results) {
          "(Paper: LEBench-in-VM within +/-3%; LFS small/largefile ~<2% median,\n"
          " high run-to-run variability.)\n\n" +
          t.Render();
-}
-
-std::vector<ParsecDefaultResult> RunSection45Parsec(const SamplerOptions& options,
-                                                    const std::vector<Uarch>& cpus) {
-  std::vector<ParsecDefaultResult> results;
-  for (Uarch u : cpus) {
-    const CpuModel& cpu = GetCpuModel(u);
-    for (const std::string& name : Parsec::KernelNames()) {
-      uint64_t seed_def = 300;
-      uint64_t seed_off = 9300;
-      const Estimate def =
-          SampleUntilConverged(
-              [&] {
-                return Parsec::RunKernel(name, cpu, MitigationConfig::Defaults(cpu),
-                                         seed_def++);
-              },
-              options)
-              .estimate;
-      const Estimate off =
-          SampleUntilConverged(
-              [&] { return Parsec::RunKernel(name, cpu, MitigationConfig::AllOff(), seed_off++); },
-              options)
-              .estimate;
-      ParsecDefaultResult r;
-      r.cpu = UarchName(u);
-      r.kernel = name;
-      r.overhead_pct = RelativeOverheadPercent(def, off);
-      results.push_back(r);
-    }
-  }
-  return results;
 }
 
 std::string RenderSection45(const std::vector<ParsecDefaultResult>& results) {

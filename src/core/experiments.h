@@ -12,6 +12,7 @@
 #include "src/core/attribution.h"
 #include "src/core/microbench.h"
 #include "src/hv/hypervisor.h"
+#include "src/runner/sweep.h"
 #include "src/stats/sampler.h"
 
 namespace specbench {
@@ -21,8 +22,12 @@ std::string RenderTable1MitigationMatrix();
 std::string RenderTable2CpuInfo();
 
 // --- Figure 2: LEBench overhead attribution ---------------------------------
+// Cells (one per CPU) execute on the deterministic parallel runner; see
+// src/core/sweep_grids.h for the grid registration. Results are identical
+// for any `runner.jobs`.
 std::vector<AttributionReport> RunFigure2LeBench(const SamplerOptions& options,
-                                                 const std::vector<Uarch>& cpus = AllUarches());
+                                                 const std::vector<Uarch>& cpus = AllUarches(),
+                                                 const RunnerOptions& runner = RunnerOptions());
 std::string RenderFigure2(const std::vector<AttributionReport>& reports);
 // CSV form of any attribution-report set (Figures 2 and 3): one row per
 // (cpu, segment) plus a TOTAL row per CPU.
@@ -30,7 +35,8 @@ std::string RenderAttributionCsv(const std::vector<AttributionReport>& reports);
 
 // --- Figure 3: Octane 2 overhead attribution --------------------------------
 std::vector<AttributionReport> RunFigure3Octane(const SamplerOptions& options,
-                                                const std::vector<Uarch>& cpus = AllUarches());
+                                                const std::vector<Uarch>& cpus = AllUarches(),
+                                                const RunnerOptions& runner = RunnerOptions());
 std::string RenderFigure3(const std::vector<AttributionReport>& reports);
 
 // --- Section 4.4: virtual machine workloads ---------------------------------
@@ -51,7 +57,8 @@ struct ParsecDefaultResult {
   Estimate overhead_pct;
 };
 std::vector<ParsecDefaultResult> RunSection45Parsec(
-    const SamplerOptions& options, const std::vector<Uarch>& cpus = AllUarches());
+    const SamplerOptions& options, const std::vector<Uarch>& cpus = AllUarches(),
+    const RunnerOptions& runner = RunnerOptions());
 std::string RenderSection45(const std::vector<ParsecDefaultResult>& results);
 
 // --- Tables 3-8: per-mitigation microbenchmarks -----------------------------

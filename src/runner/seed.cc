@@ -1,0 +1,30 @@
+#include "src/runner/seed.h"
+
+#include "src/util/rng.h"
+
+namespace specbench {
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t hash) {
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;  // FNV-1a 64-bit prime
+  }
+  return hash;
+}
+
+uint64_t CellSeed(uint64_t base_seed, std::string_view cpu_name, std::string_view config_digest,
+                  std::string_view workload_name) {
+  uint64_t h = kFnv1aBasis;
+  h = Fnv1a64(cpu_name, h);
+  h = Fnv1a64("\x1f", h);  // field separator: ("ab","c") != ("a","bc")
+  h = Fnv1a64(config_digest, h);
+  h = Fnv1a64("\x1f", h);
+  h = Fnv1a64(workload_name, h);
+  // Fold in the base seed and run two SplitMix64 rounds so that consecutive
+  // base seeds (1, 2, 3, ...) still produce unrelated cell seeds.
+  uint64_t state = h ^ (base_seed * 0x9e3779b97f4a7c15ULL);
+  SplitMix64Next(&state);
+  return SplitMix64Next(&state);
+}
+
+}  // namespace specbench

@@ -1,0 +1,29 @@
+// Deterministic per-cell seed derivation for the sweep runner.
+//
+// Every sweep cell — one (CPU × mitigation config × workload) point of the
+// paper's §4.1 grid — derives its RNG seed purely from the base seed and the
+// cell's identity, never from execution order. That is what makes the
+// parallel runner bitwise identical to a serial run: a cell gets the same
+// seed whether it runs first on one thread or last on sixteen.
+#ifndef SPECTREBENCH_SRC_RUNNER_SEED_H_
+#define SPECTREBENCH_SRC_RUNNER_SEED_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace specbench {
+
+// 64-bit FNV-1a over `bytes`, continuing from `hash` (pass kFnv1aBasis to
+// start a fresh hash).
+inline constexpr uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
+uint64_t Fnv1a64(std::string_view bytes, uint64_t hash = kFnv1aBasis);
+
+// Seed for one sweep cell: hashes the three identity strings (with
+// separators, so ("ab","c") and ("a","bc") differ), folds in `base_seed`,
+// and finalizes with SplitMix64 so nearby base seeds give unrelated streams.
+uint64_t CellSeed(uint64_t base_seed, std::string_view cpu_name, std::string_view config_digest,
+                  std::string_view workload_name);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_RUNNER_SEED_H_

@@ -1,0 +1,185 @@
+#include "src/runner/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "src/runner/seed.h"
+#include "src/runner/thread_pool.h"
+#include "src/util/text_table.h"
+
+namespace specbench {
+
+namespace {
+
+// Shortest round-trippable decimal form: identical doubles always format to
+// identical bytes, which the byte-determinism guarantee relies on.
+std::string JsonDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Sweep::Add(SweepCellKey key, CellFn run) {
+  cells_.push_back(Cell{std::move(key), std::move(run)});
+}
+
+void Sweep::Merge(Sweep other) {
+  for (Cell& cell : other.cells_) {
+    cells_.push_back(std::move(cell));
+  }
+}
+
+void Sweep::Retain(const std::function<bool(const SweepCellKey&)>& keep) {
+  std::vector<Cell> kept;
+  kept.reserve(cells_.size());
+  for (Cell& cell : cells_) {
+    if (keep(cell.key)) {
+      kept.push_back(std::move(cell));
+    }
+  }
+  cells_ = std::move(kept);
+}
+
+SweepResult Sweep::Run(const RunnerOptions& options) const {
+  SweepResult result;
+  result.base_seed = options.base_seed;
+  result.cells.resize(cells_.size());
+
+  ThreadPool pool(options.jobs <= 0 ? 0 : static_cast<size_t>(options.jobs));
+  std::atomic<size_t> completed{0};
+  std::mutex progress_mu;
+  for (size_t i = 0; i < cells_.size(); i++) {
+    // Seeds depend only on (base_seed, key): derived up front, in
+    // registration order, so scheduling cannot influence them.
+    const uint64_t seed = CellSeed(options.base_seed, cells_[i].key.cpu, cells_[i].key.config,
+                                   cells_[i].key.workload);
+    SweepCellResult* slot = &result.cells[i];
+    const Cell* cell = &cells_[i];
+    pool.Submit([this, slot, cell, seed, &options, &completed, &progress_mu] {
+      const auto start = std::chrono::steady_clock::now();
+      slot->key = cell->key;
+      slot->seed = seed;
+      slot->output = cell->run(seed);
+      slot->wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      const size_t done = completed.fetch_add(1) + 1;
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        std::fprintf(stderr, "[%zu/%zu] %s/%s/%s %.1f ms\n", done, size(),
+                     cell->key.cpu.c_str(), cell->key.config.c_str(),
+                     cell->key.workload.c_str(), slot->wall_ms);
+      }
+    });
+  }
+  pool.Wait();
+  return result;
+}
+
+std::vector<GroupRollup> SweepResult::GeomeanByCpu(const std::string& metric_id) const {
+  // Accumulate in first-appearance order so the rollup order is as
+  // deterministic as the cell order.
+  std::vector<GroupRollup> rollups;
+  std::vector<double> log_sums;
+  for (const SweepCellResult& cell : cells) {
+    for (const CellMetric& metric : cell.output.metrics) {
+      if (metric.id != metric_id) {
+        continue;
+      }
+      const double ratio = 1.0 + metric.estimate.value / 100.0;
+      if (!(ratio > 0.0)) {
+        continue;  // geomean undefined for <= -100% overheads
+      }
+      size_t g = 0;
+      while (g < rollups.size() && rollups[g].group != cell.key.cpu) {
+        g++;
+      }
+      if (g == rollups.size()) {
+        rollups.push_back(GroupRollup{cell.key.cpu, metric_id, 0.0, 0});
+        log_sums.push_back(0.0);
+      }
+      log_sums[g] += std::log(ratio);
+      rollups[g].cells++;
+    }
+  }
+  for (size_t g = 0; g < rollups.size(); g++) {
+    rollups[g].geomean_pct =
+        (std::exp(log_sums[g] / static_cast<double>(rollups[g].cells)) - 1.0) * 100.0;
+  }
+  return rollups;
+}
+
+std::string SweepResult::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"base_seed\": " << base_seed << ",\n  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); i++) {
+    const SweepCellResult& cell = cells[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"cpu\": \"" << JsonEscape(cell.key.cpu) << "\", \"config\": \""
+        << JsonEscape(cell.key.config) << "\", \"workload\": \"" << JsonEscape(cell.key.workload)
+        << "\", \"seed\": " << cell.seed << ", \"samples\": " << cell.output.samples
+        << ", \"converged\": " << (cell.output.converged ? "true" : "false")
+        << ", \"saw_non_finite\": " << (cell.output.saw_non_finite ? "true" : "false")
+        << ", \"metrics\": [";
+    for (size_t m = 0; m < cell.output.metrics.size(); m++) {
+      const CellMetric& metric = cell.output.metrics[m];
+      out << (m == 0 ? "" : ", ") << "{\"id\": \"" << JsonEscape(metric.id) << "\", \"label\": \""
+          << JsonEscape(metric.label) << "\", \"value\": " << JsonDouble(metric.estimate.value)
+          << ", \"ci95\": " << JsonDouble(metric.estimate.ci95) << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ],\n  \"rollups\": [";
+  const std::vector<GroupRollup> rollups = GeomeanByCpu("total");
+  for (size_t g = 0; g < rollups.size(); g++) {
+    out << (g == 0 ? "\n" : ",\n");
+    out << "    {\"cpu\": \"" << JsonEscape(rollups[g].group) << "\", \"metric\": \""
+        << JsonEscape(rollups[g].metric)
+        << "\", \"geomean_pct\": " << JsonDouble(rollups[g].geomean_pct)
+        << ", \"cells\": " << rollups[g].cells << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::string SweepResult::ToCsv() const {
+  std::vector<std::vector<std::string>> rows;
+  for (const SweepCellResult& cell : cells) {
+    for (const CellMetric& metric : cell.output.metrics) {
+      rows.push_back({cell.key.cpu, cell.key.config, cell.key.workload,
+                      std::to_string(cell.seed), metric.id, JsonDouble(metric.estimate.value),
+                      JsonDouble(metric.estimate.ci95), std::to_string(cell.output.samples),
+                      cell.output.converged ? "true" : "false"});
+    }
+  }
+  return RenderCsv(
+      {"cpu", "config", "workload", "seed", "metric", "value", "ci95", "samples", "converged"},
+      rows);
+}
+
+}  // namespace specbench

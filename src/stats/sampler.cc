@@ -1,5 +1,7 @@
 #include "src/stats/sampler.h"
 
+#include <cmath>
+
 #include "src/util/check.h"
 
 namespace specbench {
@@ -11,8 +13,18 @@ SampleResult SampleUntilConverged(const std::function<double()>& measure,
 
   RunningStats stats;
   SampleResult result;
-  while (stats.count() < options.max_samples) {
-    stats.Add(measure());
+  // Non-finite draws count against max_samples so a measurement that always
+  // returns NaN still terminates; they are excluded from the stats so one bad
+  // draw cannot poison the mean and silently disable convergence.
+  size_t draws = 0;
+  while (draws < options.max_samples) {
+    draws++;
+    const double sample = measure();
+    if (!std::isfinite(sample)) {
+      result.non_finite_samples++;
+      continue;
+    }
+    stats.Add(sample);
     if (stats.count() >= options.min_samples &&
         stats.relative_ci95() <= options.target_relative_ci) {
       result.converged = true;

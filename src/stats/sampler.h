@@ -27,6 +27,12 @@ struct SampleResult {
   size_t samples = 0;
   // True if the stopping rule was met before max_samples.
   bool converged = false;
+  // Count of measurements that returned NaN or +/-inf. Non-finite samples
+  // are excluded from the estimate (one NaN would otherwise poison the mean
+  // and make convergence impossible) but still count against max_samples.
+  size_t non_finite_samples = 0;
+
+  bool saw_non_finite() const { return non_finite_samples > 0; }
 };
 
 // Repeatedly invokes `measure` (each call returns one benchmark score or

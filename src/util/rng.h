@@ -10,6 +10,12 @@
 
 namespace specbench {
 
+// One step of SplitMix64 (Steele, Lea & Flood; public domain reference
+// algorithm): advances `state` and returns the next well-mixed 64-bit value.
+// Used wherever a single seed word must be expanded into independent streams
+// — Rng seeding, and the sweep runner's per-cell seed derivation.
+uint64_t SplitMix64Next(uint64_t* state);
+
 // Xoshiro256** by Blackman & Vigna (public domain reference algorithm).
 // Small, fast, and good enough statistical quality for simulation noise.
 class Rng {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "src/stats/sampler.h"
 #include "src/stats/summary.h"
@@ -37,15 +38,68 @@ TEST(RunningStats, IdenticalSamplesHaveZeroCi) {
   EXPECT_DOUBLE_EQ(s.relative_ci95(), 0.0);
 }
 
+TEST(RunningStats, VarianceNeverNegativeOnNearEqualLargeSamples) {
+  // Regression: Welford's update `m2_ += delta * (sample - mean_)` is built
+  // from rounded intermediates; under FP contraction (FMA) or fast-math the
+  // accumulated m2_ can come out a tiny negative for near-equal samples of
+  // large magnitude, which turned stddev()/sem() into NaN and made every
+  // CI comparison silently false. m2_ is now clamped at zero — variance()
+  // must be non-negative and the derived statistics finite for adversarial
+  // ~1e9-magnitude inputs.
+  const double base = 1e9;
+  const double ulp = std::nextafter(base, 2e9) - base;
+  Rng rng(99);
+  for (int trial = 0; trial < 256; trial++) {
+    RunningStats s;
+    const int n = 3 + static_cast<int>(rng.NextBelow(10));
+    for (int i = 0; i < n; i++) {
+      s.Add(base + static_cast<double>(rng.NextBelow(5)) * ulp);
+    }
+    ASSERT_GE(s.variance(), 0.0);
+    ASSERT_TRUE(std::isfinite(s.stddev()));
+    ASSERT_TRUE(std::isfinite(s.sem()));
+    ASSERT_TRUE(std::isfinite(s.ci95_half_width()));
+    ASSERT_TRUE(std::isfinite(s.relative_ci95()));
+  }
+}
+
 TEST(TCritical, KnownValues) {
   EXPECT_NEAR(TCritical95(1), 12.706, 1e-3);
   EXPECT_NEAR(TCritical95(9), 2.262, 1e-3);
-  EXPECT_NEAR(TCritical95(1000), 1.96, 1e-3);
+  EXPECT_NEAR(TCritical95(1000), 1.962, 1e-3);
 }
 
 TEST(TCritical, MonotonicallyDecreasing) {
-  for (size_t dof = 1; dof < 200; dof++) {
-    EXPECT_GE(TCritical95(dof), TCritical95(dof + 1));
+  for (size_t dof = 1; dof < 1500; dof++) {
+    EXPECT_GE(TCritical95(dof), TCritical95(dof + 1)) << "dof " << dof;
+  }
+}
+
+TEST(TCritical, ExactThroughDof60) {
+  // Regression: the old table ended at dof 30 and returned 2.009 for every
+  // dof in [31, 59] — below the true t(31) = 2.040, i.e. anti-conservative
+  // CIs for 32-41-sample runs, so the adaptive sampler stopped too early.
+  EXPECT_NEAR(TCritical95(31), 2.040, 1e-3);
+  EXPECT_NEAR(TCritical95(35), 2.030, 1e-3);
+  EXPECT_NEAR(TCritical95(40), 2.021, 1e-3);
+  EXPECT_NEAR(TCritical95(50), 2.009, 1e-3);
+  EXPECT_NEAR(TCritical95(59), 2.001, 1e-3);
+  EXPECT_NEAR(TCritical95(60), 2.000, 1e-3);
+}
+
+TEST(TCritical, BucketsAreConservative) {
+  // Beyond the exact table, each bucket must return at least the true
+  // quantile for every dof it covers (a too-wide CI costs extra samples; a
+  // too-narrow one silently breaks the §4.1 stopping rule). Spot-check each
+  // bucket against its tightest true value (the quantile at its low end).
+  EXPECT_GE(TCritical95(61), 1.9996);    // t(61)
+  EXPECT_GE(TCritical95(119), 1.9801);   // t(119) < t(61), bucket still above
+  EXPECT_GE(TCritical95(120), 1.9799);   // t(120)
+  EXPECT_GE(TCritical95(999), 1.9623);   // t(999)
+  EXPECT_GE(TCritical95(1000), 1.9620);  // never below t(1000)
+  // And never below the normal asymptote anywhere.
+  for (size_t dof = 1; dof < 5000; dof += 7) {
+    EXPECT_GE(TCritical95(dof), 1.96) << "dof " << dof;
   }
 }
 
@@ -109,6 +163,46 @@ TEST(Sampler, RespectsMinSamples) {
       options);
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(calls, 7);
+}
+
+TEST(Sampler, ExcludesNonFiniteSamplesAndStillConverges) {
+  // Regression: a single NaN measurement used to poison the running mean, so
+  // the relative-CI stopping rule could never fire and the sampler silently
+  // burned max_samples returning a NaN estimate. Non-finite draws are now
+  // excluded from the statistics and surfaced via saw_non_finite().
+  int calls = 0;
+  const SampleResult result = SampleUntilConverged([&] {
+    calls++;
+    if (calls == 2) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (calls == 4) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return 42.0;
+  });
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.saw_non_finite());
+  EXPECT_EQ(result.non_finite_samples, 2u);
+  EXPECT_DOUBLE_EQ(result.estimate.value, 42.0);
+  EXPECT_TRUE(std::isfinite(result.estimate.ci95));
+}
+
+TEST(Sampler, AllNonFiniteTerminatesAtMaxSamples) {
+  int calls = 0;
+  SamplerOptions options;
+  options.max_samples = 25;
+  const SampleResult result = SampleUntilConverged(
+      [&] {
+        calls++;
+        return std::numeric_limits<double>::quiet_NaN();
+      },
+      options);
+  EXPECT_EQ(calls, 25);  // non-finite draws still count against max_samples
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(result.saw_non_finite());
+  EXPECT_EQ(result.non_finite_samples, 25u);
+  EXPECT_EQ(result.samples, 0u);  // nothing usable was accumulated
 }
 
 TEST(Sampler, CiCoversTrueMeanUsually) {

@@ -5,8 +5,11 @@
 //   spectrebench list
 //   spectrebench table1|table2|...|table8|tables9-10|sec622
 //   spectrebench fig2|fig3|fig5|sec44|sec45 [--fast] [--cpus=Zen 3,Broadwell]
+//   spectrebench sweep [--grids=fig2,fig3,sec45] [--jobs=N] [--seed=S] [--csv]
 //   spectrebench attacks [--cpus=...]
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -17,6 +20,7 @@
 #include "src/analysis/report.h"
 #include "src/attack/attacks.h"
 #include "src/core/experiments.h"
+#include "src/core/sweep_grids.h"
 #include "src/workload/lebench.h"
 
 using namespace specbench;
@@ -26,8 +30,42 @@ namespace {
 struct CliOptions {
   bool fast = false;
   bool json = false;
+  bool csv = false;
+  bool quiet = false;           // suppress sweep progress lines on stderr
+  int jobs = 0;                 // 0 = hardware_concurrency
+  uint64_t seed = 1;
   std::vector<Uarch> cpus = AllUarches();
+  std::vector<std::string> grids = {"fig2", "fig3", "sec45"};
+  std::vector<std::string> workloads;  // empty = all
+  std::vector<std::string> configs;    // empty = all
 };
+
+std::vector<std::string> SplitCsv(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string item =
+        list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool Contains(const std::vector<std::string>& haystack, const std::string& needle) {
+  for (const std::string& item : haystack) {
+    if (item == needle) {
+      return true;
+    }
+  }
+  return false;
+}
 
 SamplerOptions SamplerFor(const CliOptions& options) {
   SamplerOptions sampler;
@@ -74,6 +112,60 @@ std::vector<Uarch> ParseCpuList(const std::string& list) {
     std::exit(2);
   }
   return cpus;
+}
+
+// Deterministic parallel sweep over the registered experiment grids. The
+// JSON/CSV on stdout is byte-identical for any --jobs value; progress and
+// per-cell wall times go to stderr.
+int RunSweep(const CliOptions& options) {
+  GridOptions grid;
+  grid.sampler = SamplerFor(options);
+  grid.cpus = options.cpus;
+
+  Sweep sweep;
+  for (const std::string& name : options.grids) {
+    if (name == "fig2") {
+      sweep.Merge(BuildFigure2Grid(grid));
+    } else if (name == "fig3") {
+      sweep.Merge(BuildFigure3Grid(grid));
+    } else if (name == "sec45") {
+      sweep.Merge(BuildSection45Grid(grid));
+    } else {
+      std::fprintf(stderr, "unknown grid: \"%s\" (valid: fig2, fig3, sec45)\n", name.c_str());
+      return 2;
+    }
+  }
+  if (!options.workloads.empty()) {
+    sweep.Retain([&](const SweepCellKey& key) { return Contains(options.workloads, key.workload); });
+  }
+  if (!options.configs.empty()) {
+    sweep.Retain([&](const SweepCellKey& key) { return Contains(options.configs, key.config); });
+  }
+  if (sweep.size() == 0) {
+    std::fprintf(stderr, "sweep: cell selection matched nothing\n");
+    return 2;
+  }
+
+  RunnerOptions runner;
+  runner.jobs = options.jobs;
+  runner.base_seed = options.seed;
+  runner.progress = !options.quiet;
+  if (!options.quiet) {
+    std::fprintf(stderr, "sweep: %zu cells, jobs=%s, seed=%llu\n", sweep.size(),
+                 options.jobs <= 0 ? "auto" : std::to_string(options.jobs).c_str(),
+                 static_cast<unsigned long long>(options.seed));
+  }
+  const SweepResult result = sweep.Run(runner);
+  std::printf("%s", options.csv ? result.ToCsv().c_str() : result.ToJson().c_str());
+
+  double total_ms = 0.0;
+  for (const SweepCellResult& cell : result.cells) {
+    total_ms += cell.wall_ms;
+  }
+  if (!options.quiet) {
+    std::fprintf(stderr, "sweep: done, %.1f ms of cell work\n", total_ms);
+  }
+  return 0;
 }
 
 // Static gadget analysis + simulator cross-validation over the corpus.
@@ -157,6 +249,10 @@ void PrintUsage() {
       "  fig5         SSBD on PARSEC (per CPU)\n"
       "  sec44        VM workloads                     sec45   PARSEC defaults\n"
       "  fig2-kernels per-kernel LEBench overhead drill-down\n"
+      "  sweep        run experiment grids on the deterministic parallel\n"
+      "               runner: [--grids=fig2,fig3,sec45] [--jobs=N] [--seed=S]\n"
+      "               [--workloads=a,b] [--configs=c] [--csv] [--quiet];\n"
+      "               JSON/CSV on stdout is byte-identical for any --jobs\n"
       "  attacks      run the full attack ground-truth suite\n"
       "  analyze      static gadget analysis of the corpus, cross-validated\n"
       "               against the simulator [--json]\n");
@@ -177,8 +273,22 @@ int main(int argc, char** argv) {
       options.fast = true;
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
     } else if (arg.rfind("--cpus=", 0) == 0) {
       options.cpus = ParseCpuList(arg.substr(7));
+    } else if (arg.rfind("--grids=", 0) == 0) {
+      options.grids = SplitCsv(arg.substr(8));
+    } else if (arg.rfind("--workloads=", 0) == 0) {
+      options.workloads = SplitCsv(arg.substr(12));
+    } else if (arg.rfind("--configs=", 0) == 0) {
+      options.configs = SplitCsv(arg.substr(10));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 2;
@@ -273,6 +383,9 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
     return 0;
+  }
+  if (command == "sweep") {
+    return RunSweep(options);
   }
   if (command == "attacks") {
     return RunAttackSuite(options);
