@@ -17,6 +17,7 @@
 #include "src/jit/jit.h"
 #include "src/runner/sweep.h"
 #include "src/uarch/machine.h"
+#include "src/util/check.h"
 
 namespace {
 
@@ -237,6 +238,9 @@ double Metric(const SweepCellResult& cell, const std::string& id) {
       return metric.estimate.value;
     }
   }
+  SPECBENCH_CHECK_MSG(false, ("missing metric '" + id + "' in cell " +
+                              cell.key.cpu + "/" + cell.key.workload)
+                                 .c_str());
   return 0.0;
 }
 

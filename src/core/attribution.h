@@ -52,10 +52,11 @@ struct AttributionReport {
   Estimate total_overhead_pct;
   std::vector<AttributionSegment> segments;  // only knobs with nonzero effect
 
-  // Sampler health, aggregated over every configuration measured: total
-  // sample draws, whether every configuration's CI converged, and whether
+  // Sampler health, aggregated over every configuration measured: finite
+  // samples used in the estimates (non-finite draws are excluded; see
+  // SampleResult), whether every configuration's CI converged, and whether
   // any measurement returned a non-finite value (surfaced rather than
-  // silently poisoning the estimates; see SampleResult).
+  // silently poisoning the estimates).
   size_t total_samples = 0;
   bool converged = true;
   bool saw_non_finite = false;

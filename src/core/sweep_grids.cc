@@ -1,0 +1,158 @@
+#include "src/core/sweep_grids.h"
+
+#include <utility>
+
+#include "src/util/rng.h"
+#include "src/workload/lebench.h"
+#include "src/workload/octane.h"
+#include "src/workload/parsec.h"
+
+namespace specbench {
+
+CellOutput CellOutputFromAttribution(const AttributionReport& report) {
+  CellOutput out;
+  for (const AttributionSegment& segment : report.segments) {
+    out.metrics.push_back(CellMetric{segment.id, segment.label, segment.overhead_pct});
+  }
+  out.metrics.push_back(CellMetric{"total", "Total", report.total_overhead_pct});
+  out.samples = report.total_samples;
+  out.converged = report.converged;
+  out.saw_non_finite = report.saw_non_finite;
+  return out;
+}
+
+Sweep BuildFigure2Grid(const GridOptions& options) {
+  Sweep sweep;
+  for (Uarch u : options.cpus) {
+    sweep.Add(SweepCellKey{UarchName(u), "attribution", "lebench"},
+              [u, sampler = options.sampler](uint64_t seed) {
+                const CpuModel& cpu = GetCpuModel(u);
+                return CellOutputFromAttribution(AttributeOsMitigations(
+                    cpu, "lebench",
+                    [&cpu](const MitigationConfig& config, uint64_t sample_seed) {
+                      return LeBench::SuiteGeomean(LeBench::RunSuite(cpu, config, sample_seed));
+                    },
+                    /*lower_is_better=*/true, sampler, seed));
+              });
+  }
+  return sweep;
+}
+
+Sweep BuildFigure3Grid(const GridOptions& options) {
+  Sweep sweep;
+  for (Uarch u : options.cpus) {
+    sweep.Add(SweepCellKey{UarchName(u), "attribution", "octane2"},
+              [u, sampler = options.sampler](uint64_t seed) {
+                const CpuModel& cpu = GetCpuModel(u);
+                return CellOutputFromAttribution(AttributeBrowserMitigations(
+                    cpu,
+                    [&cpu](const JitConfig& jit, const MitigationConfig& os,
+                           uint64_t sample_seed) {
+                      return Octane::SuiteScore(Octane::RunSuite(cpu, jit, os, sample_seed));
+                    },
+                    sampler, seed));
+              });
+  }
+  return sweep;
+}
+
+Sweep BuildSection45Grid(const GridOptions& options) {
+  Sweep sweep;
+  for (Uarch u : options.cpus) {
+    for (const std::string& name : Parsec::KernelNames()) {
+      sweep.Add(SweepCellKey{UarchName(u), "default-vs-off", name},
+                [u, name, sampler = options.sampler](uint64_t seed) {
+                  const CpuModel& cpu = GetCpuModel(u);
+                  uint64_t stream = seed;
+                  uint64_t seed_def = SplitMix64Next(&stream);
+                  uint64_t seed_off = SplitMix64Next(&stream);
+                  const SampleResult def = SampleUntilConverged(
+                      [&] {
+                        return Parsec::RunKernel(name, cpu, MitigationConfig::Defaults(cpu),
+                                                 seed_def++);
+                      },
+                      sampler);
+                  const SampleResult off = SampleUntilConverged(
+                      [&] {
+                        return Parsec::RunKernel(name, cpu, MitigationConfig::AllOff(),
+                                                 seed_off++);
+                      },
+                      sampler);
+                  CellOutput out;
+                  out.metrics.push_back(
+                      CellMetric{"total", "Default-mitigation overhead",
+                                 RelativeOverheadPercent(def.estimate, off.estimate)});
+                  out.samples = def.samples + off.samples;
+                  out.converged = def.converged && off.converged;
+                  out.saw_non_finite = def.saw_non_finite() || off.saw_non_finite();
+                  return out;
+                });
+    }
+  }
+  return sweep;
+}
+
+std::vector<AttributionReport> AttributionReportsFromSweep(const SweepResult& result) {
+  std::vector<AttributionReport> reports;
+  for (const SweepCellResult& cell : result.cells) {
+    if (cell.key.config != "attribution") {
+      continue;
+    }
+    AttributionReport report;
+    report.cpu = cell.key.cpu;
+    report.workload = cell.key.workload;
+    for (const CellMetric& metric : cell.output.metrics) {
+      if (metric.id == "total") {
+        report.total_overhead_pct = metric.estimate;
+      } else {
+        report.segments.push_back(AttributionSegment{metric.id, metric.label, metric.estimate});
+      }
+    }
+    report.total_samples = cell.output.samples;
+    report.converged = cell.output.converged;
+    report.saw_non_finite = cell.output.saw_non_finite;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+std::vector<ParsecDefaultResult> ParsecResultsFromSweep(const SweepResult& result) {
+  std::vector<ParsecDefaultResult> results;
+  for (const SweepCellResult& cell : result.cells) {
+    if (cell.key.config != "default-vs-off") {
+      continue;
+    }
+    ParsecDefaultResult r;
+    r.cpu = cell.key.cpu;
+    r.kernel = cell.key.workload;
+    for (const CellMetric& metric : cell.output.metrics) {
+      if (metric.id == "total") {
+        r.overhead_pct = metric.estimate;
+      }
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+// --- Runner-backed experiment drivers (declared in experiments.h) -----------
+
+std::vector<AttributionReport> RunFigure2LeBench(const SamplerOptions& options,
+                                                 const std::vector<Uarch>& cpus,
+                                                 const RunnerOptions& runner) {
+  return AttributionReportsFromSweep(BuildFigure2Grid(GridOptions{options, cpus}).Run(runner));
+}
+
+std::vector<AttributionReport> RunFigure3Octane(const SamplerOptions& options,
+                                                const std::vector<Uarch>& cpus,
+                                                const RunnerOptions& runner) {
+  return AttributionReportsFromSweep(BuildFigure3Grid(GridOptions{options, cpus}).Run(runner));
+}
+
+std::vector<ParsecDefaultResult> RunSection45Parsec(const SamplerOptions& options,
+                                                    const std::vector<Uarch>& cpus,
+                                                    const RunnerOptions& runner) {
+  return ParsecResultsFromSweep(BuildSection45Grid(GridOptions{options, cpus}).Run(runner));
+}
+
+}  // namespace specbench

@@ -1,0 +1,41 @@
+// Sweep-grid registration for the paper's figure/table drivers.
+//
+// Each Build*Grid function registers one cell per independent
+// (CPU × config × workload) point of an experiment with the deterministic
+// parallel runner (src/runner/sweep.h), replacing the hand-rolled nested
+// loops the bench binaries used to run serially. A future figure or table
+// driver is one registration call: build a grid, Run() it, convert the
+// SweepResult back to the driver's report type for rendering.
+#ifndef SPECTREBENCH_SRC_CORE_SWEEP_GRIDS_H_
+#define SPECTREBENCH_SRC_CORE_SWEEP_GRIDS_H_
+
+#include <vector>
+
+#include "src/core/experiments.h"
+#include "src/runner/sweep.h"
+
+namespace specbench {
+
+struct GridOptions {
+  SamplerOptions sampler;
+  std::vector<Uarch> cpus = AllUarches();
+};
+
+// Figure 2: one attribution cell per CPU over the LEBench suite geomean.
+Sweep BuildFigure2Grid(const GridOptions& options);
+// Figure 3: one browser-attribution cell per CPU over the Octane 2 score.
+Sweep BuildFigure3Grid(const GridOptions& options);
+// Section 4.5: one default-vs-off cell per (CPU, PARSEC kernel).
+Sweep BuildSection45Grid(const GridOptions& options);
+
+// Flattens an attribution report into cell metrics (segments + "total").
+CellOutput CellOutputFromAttribution(const AttributionReport& report);
+
+// Inverse conversions, for the existing renderers: pick the cells the grid
+// above produced out of a sweep result.
+std::vector<AttributionReport> AttributionReportsFromSweep(const SweepResult& result);
+std::vector<ParsecDefaultResult> ParsecResultsFromSweep(const SweepResult& result);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_CORE_SWEEP_GRIDS_H_
