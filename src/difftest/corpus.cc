@@ -1,0 +1,207 @@
+#include "src/difftest/corpus.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace specbench {
+
+namespace {
+
+constexpr char kBanner[] = "# spectrebench difftest corpus v1";
+
+void AppendField(std::string* line, const char* key, int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRId64, key, value);
+  *line += buf;
+}
+
+std::string SerializeInstruction(const Instruction& in) {
+  const Instruction defaults;
+  std::string line = "i op=";
+  line += OpName(in.op);
+  if (in.op == Op::kAlu || in.alu != defaults.alu) {
+    line += " alu=";
+    line += AluOpName(in.alu);
+  }
+  if (in.dst != defaults.dst) AppendField(&line, "dst", in.dst);
+  if (in.src1 != defaults.src1) AppendField(&line, "src1", in.src1);
+  if (in.src2 != defaults.src2) AppendField(&line, "src2", in.src2);
+  if (in.use_imm) AppendField(&line, "use_imm", 1);
+  if (in.imm != defaults.imm) AppendField(&line, "imm", in.imm);
+  const MemRef mem_defaults;
+  if (in.mem.base != mem_defaults.base || in.mem.index != mem_defaults.index ||
+      in.mem.scale != mem_defaults.scale || in.mem.disp != mem_defaults.disp) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " mem=%d,%d,%d,%" PRId64, in.mem.base, in.mem.index,
+                  in.mem.scale, in.mem.disp);
+    line += buf;
+  }
+  if (in.target != defaults.target) AppendField(&line, "target", in.target);
+  return line;
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 0);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::vector<std::string> SplitWhitespace(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool ParseInstructionLine(const std::vector<std::string>& tokens, Instruction* out,
+                          std::string* why) {
+  Instruction in;
+  bool saw_op = false;
+  for (size_t t = 1; t < tokens.size(); t++) {
+    const std::string& token = tokens[t];
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      *why = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    int64_t number = 0;
+    if (key == "op") {
+      if (!ParseOpName(value.c_str(), &in.op)) {
+        *why = "unknown opcode '" + value + "'";
+        return false;
+      }
+      saw_op = true;
+    } else if (key == "alu") {
+      if (!ParseAluOpName(value.c_str(), &in.alu)) {
+        *why = "unknown alu op '" + value + "'";
+        return false;
+      }
+    } else if (key == "mem") {
+      int base = 0, index = 0, scale = 0;
+      long long disp = 0;
+      if (std::sscanf(value.c_str(), "%d,%d,%d,%lld", &base, &index, &scale, &disp) != 4) {
+        *why = "bad mem operand '" + value + "'";
+        return false;
+      }
+      in.mem.base = static_cast<uint8_t>(base);
+      in.mem.index = static_cast<uint8_t>(index);
+      in.mem.scale = static_cast<uint8_t>(scale);
+      in.mem.disp = disp;
+    } else if (!ParseInt64(value, &number)) {
+      *why = "bad integer for '" + key + "': '" + value + "'";
+      return false;
+    } else if (key == "dst") {
+      in.dst = static_cast<uint8_t>(number);
+    } else if (key == "src1") {
+      in.src1 = static_cast<uint8_t>(number);
+    } else if (key == "src2") {
+      in.src2 = static_cast<uint8_t>(number);
+    } else if (key == "use_imm") {
+      in.use_imm = number != 0;
+    } else if (key == "imm") {
+      in.imm = number;
+    } else if (key == "target") {
+      in.target = static_cast<int32_t>(number);
+    } else {
+      *why = "unknown key '" + key + "'";
+      return false;
+    }
+  }
+  if (!saw_op) {
+    *why = "instruction line without op=";
+    return false;
+  }
+  *out = in;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeCorpusProgram(const Program& program, const std::string& comment) {
+  std::ostringstream out;
+  out << kBanner << "\n";
+  std::istringstream comment_lines(comment);
+  std::string line;
+  while (std::getline(comment_lines, line)) {
+    out << "# " << line << "\n";
+  }
+  char base[32];
+  std::snprintf(base, sizeof(base), "base 0x%" PRIx64, program.base_vaddr());
+  out << base << "\n";
+  for (int32_t i = 0; i < program.size(); i++) {
+    out << SerializeInstruction(program.at(i)) << "\n";
+  }
+  return out.str();
+}
+
+bool ParseCorpusProgram(const std::string& text, Program* out, std::string* error) {
+  auto fail = [error](int line_number, const std::string& why) {
+    if (error != nullptr) {
+      std::ostringstream msg;
+      msg << "line " << line_number << ": " << why;
+      *error = msg.str();
+    }
+    return false;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  std::vector<Instruction> instructions;
+  uint64_t base_vaddr = kDefaultCodeBase;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    line_number++;
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty() || tokens[0][0] == '#') {
+      continue;
+    }
+    if (tokens[0] == "base") {
+      if (tokens.size() != 2 || !ParseUint64(tokens[1], &base_vaddr)) {
+        return fail(line_number, "bad base line");
+      }
+    } else if (tokens[0] == "i") {
+      Instruction instr;
+      std::string why;
+      if (!ParseInstructionLine(tokens, &instr, &why)) {
+        return fail(line_number, why);
+      }
+      instructions.push_back(instr);
+    } else {
+      return fail(line_number, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (instructions.empty()) {
+    return fail(line_number, "no instructions");
+  }
+  *out = Program(std::move(instructions), base_vaddr, {});
+  return true;
+}
+
+}  // namespace specbench

@@ -1,0 +1,209 @@
+#include "src/difftest/difftest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "src/difftest/shrink.h"
+#include "src/os/mitigation_config.h"
+#include "src/runner/thread_pool.h"
+#include "src/uarch/machine.h"
+#include "src/util/check.h"
+
+namespace specbench {
+
+namespace {
+
+// Quotes an argument for the repro command line when it contains spaces
+// (CPU names like "Skylake Client").
+std::string ShellArg(const std::string& arg) {
+  if (arg.find(' ') == std::string::npos) {
+    return arg;
+  }
+  return "'" + arg + "'";
+}
+
+std::string ReproCommandLine(uint64_t seed, const std::string& cpu, const std::string& config,
+                             uint64_t inject_alu_fault_after) {
+  std::ostringstream out;
+  out << "spectrebench difftest --seeds=" << seed << ":" << seed + 1;
+  if (!cpu.empty() && cpu != "-") {
+    out << " " << ShellArg("--cpus=" + cpu);
+  }
+  if (!config.empty() && config != "-") {
+    out << " " << ShellArg("--configs=" + config);
+  }
+  if (inject_alu_fault_after != 0) {
+    out << " --inject-alu-fault=" << inject_alu_fault_after;
+  }
+  return out.str();
+}
+
+void ApplyDiffConfig(Machine* m, const DiffConfig& config) {
+  if (config.from_cpu_defaults) {
+    const MitigationConfig defaults = MitigationConfig::Defaults(m->cpu());
+    m->SetSsbd(defaults.ssbd == SsbdMode::kAlways);
+    m->SetIbrs(defaults.ibrs != IbrsMode::kOff);
+    m->SetPcidEnabled(defaults.pcid);
+    return;
+  }
+  m->SetSsbd(config.ssbd);
+  m->SetIbrs(config.ibrs);
+  m->SetStibp(config.stibp);
+  m->SetPcidEnabled(config.pcid);
+}
+
+// Per-seed result slot: written by exactly one task, merged in seed order.
+struct SeedResult {
+  uint64_t executions = 0;
+  std::vector<Divergence> divergences;
+};
+
+}  // namespace
+
+std::vector<DiffConfig> DefaultDiffConfigs() {
+  std::vector<DiffConfig> configs;
+  configs.push_back({.name = "off"});
+  configs.push_back({.name = "defaults", .from_cpu_defaults = true});
+  configs.push_back({.name = "ssbd", .ssbd = true});
+  configs.push_back({.name = "ibrs", .ibrs = true});
+  configs.push_back({.name = "nopcid", .pcid = false});
+  configs.push_back({.name = "stibp", .stibp = true});
+  return configs;
+}
+
+bool TryGetDiffConfigByName(const std::string& name, DiffConfig* out) {
+  for (const DiffConfig& config : DefaultDiffConfigs()) {
+    if (config.name == name) {
+      *out = config;
+      return true;
+    }
+  }
+  return false;
+}
+
+ArchState RunMachineArch(const Program& program, const CpuModel& cpu, const DiffConfig& config,
+                         uint64_t max_instructions, uint64_t inject_alu_fault_after) {
+  Machine m(cpu);
+  m.LoadProgram(&program);
+  ApplyDiffConfig(&m, config);
+  if (inject_alu_fault_after != 0) {
+    m.InjectAluFaultForTesting(inject_alu_fault_after);
+  }
+
+  ArchState state;
+  state.trace_hash = kArchHashBasis;
+  m.SetTraceHook([&state](const Machine::TraceRecord& record) {
+    state.retired++;
+    state.trace_hash = FoldTraceHash(state.trace_hash, record.index, record.op);
+  });
+
+  // RunPartial: exhausting the budget is a reportable outcome (halted=false
+  // diverges from the reference), not a SPECBENCH_CHECK abort like Run.
+  const Machine::RunResult run = m.RunPartial(program.base_vaddr(), max_instructions);
+  m.DrainPipeline();
+  m.DrainStoreBuffer();
+
+  for (uint8_t r = 0; r < kNumRegs; r++) {
+    state.regs[r] = m.reg(r);
+  }
+  for (uint8_t r = 0; r < kNumFpRegs; r++) {
+    state.fpregs[r] = m.fpreg(r);
+  }
+  state.halted = run.halted;
+  state.memory_digest = DigestMemoryWords(m.physical_memory().SortedNonZeroWords());
+  return state;
+}
+
+DifftestReport RunDifftest(const DifftestOptions& options) {
+  SPECBENCH_CHECK_MSG(options.seed_end >= options.seed_begin, "difftest: empty seed range");
+  const std::vector<Uarch> cpus = options.cpus.empty() ? AllUarches() : options.cpus;
+  const std::vector<DiffConfig> configs =
+      options.configs.empty() ? DefaultDiffConfigs() : options.configs;
+  const uint64_t count = options.seed_end - options.seed_begin;
+
+  std::vector<SeedResult> slots(static_cast<size_t>(count));
+  auto run_seed = [&](uint64_t seed, SeedResult* slot) {
+    const Program program = GenerateProgram(seed, options.generator);
+    const ReferenceResult ref = RunReference(program, options.max_instructions);
+    if (!ref.ok) {
+      Divergence d;
+      d.seed = seed;
+      d.cpu = "-";
+      d.config = "-";
+      d.detail = "reference: " + ref.error;
+      d.repro = ReproCommandLine(seed, "-", "-", options.inject_alu_fault_after);
+      slot->divergences.push_back(std::move(d));
+      return;
+    }
+    for (Uarch u : cpus) {
+      const CpuModel& cpu = GetCpuModel(u);
+      for (const DiffConfig& config : configs) {
+        const ArchState got = RunMachineArch(program, cpu, config, options.max_instructions,
+                                             options.inject_alu_fault_after);
+        slot->executions++;
+        if (got == ref.state) {
+          continue;
+        }
+        Divergence d;
+        d.seed = seed;
+        d.cpu = UarchName(u);
+        d.config = config.name;
+        d.detail = DescribeArchDivergence(ref.state, got);
+        d.repro = ReproCommandLine(seed, d.cpu, d.config, options.inject_alu_fault_after);
+        if (options.shrink) {
+          auto still_fails = [&](const Program& candidate) {
+            const ReferenceResult r = RunReference(candidate, options.max_instructions);
+            if (!r.ok) {
+              return false;  // invalid candidate: would abort the machine
+            }
+            const ArchState g = RunMachineArch(candidate, cpu, config, options.max_instructions,
+                                               options.inject_alu_fault_after);
+            return !(g == r.state);
+          };
+          d.shrunk = ShrinkProgram(program, still_fails);
+          d.shrunk_size = CountNonNop(d.shrunk);
+        }
+        slot->divergences.push_back(std::move(d));
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(options.jobs < 0 ? 1 : static_cast<size_t>(options.jobs));
+    for (uint64_t i = 0; i < count; i++) {
+      const uint64_t seed = options.seed_begin + i;
+      SeedResult* slot = &slots[static_cast<size_t>(i)];
+      pool.Submit([&run_seed, seed, slot] { run_seed(seed, slot); });
+    }
+    pool.Wait();
+  }
+
+  DifftestReport report;
+  report.programs = count;
+  for (SeedResult& slot : slots) {
+    report.executions += slot.executions;
+    for (Divergence& d : slot.divergences) {
+      report.divergences.push_back(std::move(d));
+    }
+  }
+  return report;
+}
+
+std::string DifftestReport::ToText() const {
+  std::ostringstream out;
+  out << "difftest: " << programs << " programs, " << executions << " machine runs, "
+      << divergences.size() << " divergences\n";
+  for (const Divergence& d : divergences) {
+    out << "  seed=" << d.seed << " cpu=" << d.cpu << " config=" << d.config << ": " << d.detail
+        << "\n";
+    if (d.shrunk.size() > 0) {
+      out << "    shrunk to " << d.shrunk_size << " instructions\n";
+    }
+    out << "    repro: " << d.repro << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace specbench

@@ -1,0 +1,281 @@
+#include "src/difftest/generator.h"
+
+#include <iterator>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace specbench {
+
+namespace {
+
+// The generator's working state: the builder, the RNG, and the bound
+// function entry points indirect calls may target.
+struct Gen {
+  ProgramBuilder b;
+  Rng rng;
+  std::vector<Label> func_labels;
+  std::vector<int32_t> func_indices;
+
+  explicit Gen(uint64_t seed) : rng(seed) {}
+
+  uint8_t Scratch() { return static_cast<uint8_t>(rng.NextBelow(kGenScratchRegs)); }
+
+  // Exactly one register-only instruction (no memory, no control flow).
+  // Several call sites rely on the one-instruction guarantee to compute
+  // indirect-branch landing indices.
+  void EmitPlainOp() {
+    const uint8_t dst = Scratch();
+    const uint8_t a = Scratch();
+    const uint8_t c = Scratch();
+    static constexpr AluOp kAluOps[] = {AluOp::kAdd, AluOp::kSub, AluOp::kAnd, AluOp::kOr,
+                                        AluOp::kXor, AluOp::kShl, AluOp::kShr, AluOp::kCmpLt,
+                                        AluOp::kCmpGe, AluOp::kCmpEq, AluOp::kCmpNe};
+    switch (rng.NextBelow(8)) {
+      case 0:
+        b.MovImm(dst, static_cast<int64_t>(rng.NextU64()));
+        break;
+      case 1:
+        b.Mov(dst, a);
+        break;
+      case 2:
+        b.Alu(kAluOps[rng.NextBelow(std::size(kAluOps))], dst, a, c);
+        break;
+      case 3:
+        b.AluImm(kAluOps[rng.NextBelow(std::size(kAluOps))], dst, a,
+                 static_cast<int64_t>(rng.NextBelow(1 << 12)));
+        break;
+      case 4:
+        b.Mul(dst, a, c);
+        break;
+      case 5:
+        // Divide by a register that may well be zero: the machine defines
+        // x/0 = 0 and the divider keeps the paper's §6.1 probe observable.
+        b.Div(dst, a, c);
+        break;
+      case 6:
+        b.Cmov(dst, a, c);
+        break;
+      default:
+        b.Lea(dst, MemRef{a, c, 1, static_cast<int64_t>(rng.NextBelow(256))});
+        break;
+    }
+  }
+
+  // Masks `src` into a word-aligned in-window index register and returns it.
+  uint8_t MaskedIndex(uint64_t mask) {
+    const uint8_t idx = Scratch();
+    b.AluImm(AluOp::kAnd, idx, Scratch(), static_cast<int64_t>(mask));
+    return idx;
+  }
+
+  void EmitLoad(uint8_t base_reg, uint64_t mask) {
+    const uint8_t idx = MaskedIndex(mask);
+    b.Load(Scratch(), MemRef{base_reg, idx, 1, 0});
+  }
+
+  void EmitStore(uint8_t base_reg, uint64_t mask) {
+    const uint8_t idx = MaskedIndex(mask);
+    b.Store(MemRef{base_reg, idx, 1, 0}, Scratch());
+  }
+
+  // The Spectre V1 masking shape: bounds check, cmov to the safe index,
+  // dependent load. The branchless guard is what index-masking mitigations
+  // and the §7 cmov-load-fusion hardware act on.
+  void EmitBoundsCheckedLoad() {
+    const uint8_t idx = MaskedIndex(kGenDataMask);
+    const uint8_t guard = Scratch();
+    const uint8_t safe = Scratch();
+    b.AluImm(AluOp::kCmpGe, guard, idx, static_cast<int64_t>(rng.NextInRange(8, kGenDataMask)));
+    b.MovImm(safe, 0);
+    b.Cmov(idx, safe, guard);  // out of bounds -> index 0
+    b.Load(Scratch(), MemRef{kGenDataBaseReg, idx, 1, 0});
+  }
+
+  // Store/load pair through the tiny alias window: with only 8 words the
+  // pair aliases often, exercising forwarding, speculative store bypass and
+  // the SSBD wait-for-address discipline.
+  void EmitAliasPair() {
+    EmitStore(kGenAliasBaseReg, kGenAliasMask);
+    for (uint64_t i = rng.NextBelow(3); i > 0; i--) {
+      EmitPlainOp();
+    }
+    EmitLoad(kGenAliasBaseReg, kGenAliasMask);
+  }
+
+  void EmitFence() {
+    switch (rng.NextBelow(7)) {
+      case 0: b.Lfence(); break;
+      case 1: b.Mfence(); break;
+      case 2: b.Cpuid(); break;
+      case 3: b.Pause(); break;
+      case 4: b.RsbStuff(); break;
+      case 5: b.Verw(); break;
+      default: {
+        const uint8_t idx = MaskedIndex(kGenDataMask);
+        b.Clflush(MemRef{kGenDataBaseReg, idx, 1, 0});
+        break;
+      }
+    }
+  }
+
+  void EmitFpGadget() {
+    const uint8_t fp = static_cast<uint8_t>(rng.NextBelow(kNumFpRegs));
+    switch (rng.NextBelow(3)) {
+      case 0: b.GpToFp(fp, Scratch()); break;
+      case 1: b.FpOp(fp); break;
+      default: b.FpToGp(Scratch(), fp); break;
+    }
+  }
+
+  // Forward conditional branch over a short gap: the not-taken/taken paths
+  // are both architecturally well-formed, and mispredictions speculate into
+  // the gap.
+  void EmitForwardBranch() {
+    Label skip = b.NewLabel();
+    if (rng.NextBelow(2) == 0) {
+      b.BranchNz(Scratch(), skip);
+    } else {
+      b.BranchZ(Scratch(), skip);
+    }
+    for (uint64_t i = 1 + rng.NextBelow(3); i > 0; i--) {
+      EmitPlainOp();
+    }
+    b.Bind(skip);
+  }
+
+  // Indirect jump to a literal forward address with a wrong-path gap the
+  // machine can only reach speculatively (stale BTB entries land in it).
+  void EmitIndirectSkip() {
+    const int gap = 1 + static_cast<int>(rng.NextBelow(3));
+    const int32_t target_index = b.NextIndex() + 2 + gap;
+    b.MovImm(kGenSpareReg,
+             static_cast<int64_t>(kDefaultCodeBase + kInstructionBytes * target_index));
+    b.IndirectJmp(kGenSpareReg);
+    for (int i = 0; i < gap; i++) {
+      EmitPlainOp();  // speculative wrong path only
+    }
+    SPECBENCH_CHECK(b.NextIndex() == target_index);
+  }
+
+  void EmitCall() {
+    if (func_labels.empty()) {
+      EmitPlainOp();
+      return;
+    }
+    const size_t f = rng.NextBelow(func_labels.size());
+    if (rng.NextBelow(2) == 0) {
+      b.Call(func_labels[f]);
+    } else {
+      b.MovImm(kGenSpareReg,
+               static_cast<int64_t>(kDefaultCodeBase + kInstructionBytes * func_indices[f]));
+      b.IndirectCall(kGenSpareReg);
+    }
+  }
+
+  // One random segment of the main body. `loop_depth` caps loop nesting at
+  // the two reserved counter registers.
+  void EmitSegment(int loop_depth) {
+    switch (rng.NextBelow(12)) {
+      case 0:
+      case 1:
+        EmitPlainOp();
+        break;
+      case 2:
+        EmitLoad(kGenDataBaseReg, kGenDataMask);
+        break;
+      case 3:
+        EmitStore(kGenDataBaseReg, kGenDataMask);
+        break;
+      case 4:
+        EmitBoundsCheckedLoad();
+        break;
+      case 5:
+        EmitAliasPair();
+        break;
+      case 6:
+        EmitForwardBranch();
+        break;
+      case 7:
+        EmitIndirectSkip();
+        break;
+      case 8:
+        EmitCall();
+        break;
+      case 9:
+        EmitFence();
+        break;
+      case 10:
+        EmitFpGadget();
+        break;
+      default:
+        if (loop_depth < 2) {
+          EmitLoop(loop_depth);
+        } else {
+          EmitPlainOp();
+        }
+        break;
+    }
+  }
+
+  void EmitLoop(int loop_depth) {
+    const uint8_t ctr = loop_depth == 0 ? kGenLoopReg0 : kGenLoopReg1;
+    b.MovImm(ctr, static_cast<int64_t>(rng.NextInRange(1, 3)));
+    Label top = b.NewLabel();
+    b.Bind(top);
+    for (uint64_t i = 1 + rng.NextBelow(3); i > 0; i--) {
+      EmitSegment(loop_depth + 1);
+    }
+    b.AluImm(AluOp::kSub, ctr, ctr, 1);
+    b.BranchNz(ctr, top);
+  }
+};
+
+}  // namespace
+
+Program GenerateProgram(uint64_t seed, const GeneratorOptions& options) {
+  Gen g(seed);
+  Label main = g.b.NewLabel();
+
+  // Preamble: structural registers, seeded scratch state, an architecturally
+  // initialized slice of the data window (both engines execute these stores,
+  // so the windows agree by construction).
+  g.b.MovImm(kGenDataBaseReg, static_cast<int64_t>(kGenDataBase));
+  g.b.MovImm(kGenAliasBaseReg, static_cast<int64_t>(kGenAliasBase));
+  g.b.MovImm(kRegSp, static_cast<int64_t>(kGenStackTop));
+  for (uint8_t r = 0; r < kGenScratchRegs; r++) {
+    g.b.MovImm(r, static_cast<int64_t>(g.rng.NextU64()));
+  }
+  for (int k = 0; k < options.init_words; k++) {
+    g.b.MovImm(kGenSpareReg, static_cast<int64_t>(g.rng.NextU64()));
+    g.b.Store(MemRef{kGenDataBaseReg, kNoReg, 1, 8 * k}, kGenSpareReg);
+  }
+  g.b.Jmp(main);
+
+  // Leaf functions: straight-line bodies, no calls and no loops, so the call
+  // graph is trivially acyclic and stack depth is bounded by one frame.
+  for (int f = 0; f < options.functions; f++) {
+    Label entry = g.b.NewLabel();
+    g.b.Bind(entry);
+    g.func_labels.push_back(entry);
+    g.func_indices.push_back(g.b.NextIndex());
+    for (uint64_t i = 3 + g.rng.NextBelow(5); i > 0; i--) {
+      switch (g.rng.NextBelow(4)) {
+        case 0: g.EmitLoad(kGenDataBaseReg, kGenDataMask); break;
+        case 1: g.EmitStore(kGenAliasBaseReg, kGenAliasMask); break;
+        default: g.EmitPlainOp(); break;
+      }
+    }
+    g.b.Ret();
+  }
+
+  g.b.Bind(main);
+  for (int i = 0; i < options.body_length; i++) {
+    g.EmitSegment(/*loop_depth=*/0);
+  }
+  g.b.Halt();
+  return g.b.Build();
+}
+
+}  // namespace specbench

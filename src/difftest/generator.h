@@ -1,0 +1,68 @@
+// Deterministic random-program generator for the differential oracle.
+//
+// Emits well-formed, always-terminating isa::Programs from a single seed
+// (SplitMix64/Xoshiro expansion via util::Rng), biased toward the hazard
+// shapes the paper's mitigations interact with:
+//   * bounds-checked loads (the Spectre V1 masking pattern: compare, cmov to
+//     a safe index, then the dependent load),
+//   * indirect jumps/calls with a speculatively-executed wrong-path gap
+//     (BTB/retpoline territory),
+//   * store/load aliasing through a deliberately tiny memory window (the
+//     speculative-store-bypass surface SSBD serializes),
+//   * direct call/ret pairs (RSB behaviour), and
+//   * serializing fences (lfence/mfence/cpuid) sprinkled through the mix.
+//
+// Structural invariants that make every emitted program safe to run on both
+// engines under any CPU model × mitigation config:
+//   * loads/stores only touch the data window, the alias window, or the
+//     stack — index registers are masked immediately before every access;
+//   * backward branches only appear as counted loops on reserved counter
+//     registers, so execution always reaches kHalt;
+//   * indirect branch targets are exact instruction addresses inside the
+//     program; calls are made only to generated leaf functions ending in ret;
+//   * no timing reads (rdtsc/rdpmc), no privileged ops (wrmsr, cr3,
+//     syscall), so the architectural result is identical across CPU models
+//     and mitigation configurations by construction.
+#ifndef SPECTREBENCH_SRC_DIFFTEST_GENERATOR_H_
+#define SPECTREBENCH_SRC_DIFFTEST_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/isa/program.h"
+
+namespace specbench {
+
+// Register conventions of generated programs. Scratch registers are the only
+// destinations random instructions may write; everything above is reserved
+// for the generator's own structure.
+inline constexpr uint8_t kGenScratchRegs = 10;  // r0..r9 free
+inline constexpr uint8_t kGenLoopReg0 = 10;     // loop counters (nesting <= 2)
+inline constexpr uint8_t kGenLoopReg1 = 11;
+inline constexpr uint8_t kGenDataBaseReg = 12;  // data window base
+inline constexpr uint8_t kGenAliasBaseReg = 13; // alias window base
+inline constexpr uint8_t kGenSpareReg = 14;     // generator-internal temp
+// kRegSp (r15) is the stack pointer.
+
+// Memory layout (identity-mapped; disjoint from the code at 0x400000).
+inline constexpr uint64_t kGenDataBase = 0x10000;   // 4 KiB window
+inline constexpr uint64_t kGenDataMask = 0xff8;     // word-aligned index mask
+inline constexpr uint64_t kGenAliasBase = 0x20000;  // 64 B window
+inline constexpr uint64_t kGenAliasMask = 0x38;     // 8 words: aliasing is common
+inline constexpr uint64_t kGenStackTop = 0x80000;
+
+struct GeneratorOptions {
+  // Random instructions in the main body (gadgets count as several).
+  int body_length = 48;
+  // Leaf functions available as direct/indirect call targets.
+  int functions = 2;
+  // Words of the data window architecturally initialized in the preamble.
+  int init_words = 8;
+};
+
+// Generates the program for `seed`. Deterministic: same seed and options,
+// same program, on every platform.
+Program GenerateProgram(uint64_t seed, const GeneratorOptions& options = GeneratorOptions());
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_DIFFTEST_GENERATOR_H_

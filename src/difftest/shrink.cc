@@ -1,0 +1,92 @@
+#include "src/difftest/shrink.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace specbench {
+
+namespace {
+
+Program MakeProgram(std::vector<Instruction> instructions, const Program& like) {
+  return Program(std::move(instructions), like.base_vaddr(), like.symbols());
+}
+
+std::vector<Instruction> CopyInstructions(const Program& program) {
+  std::vector<Instruction> out;
+  out.reserve(static_cast<size_t>(program.size()));
+  for (int32_t i = 0; i < program.size(); i++) {
+    out.push_back(program.at(i));
+  }
+  return out;
+}
+
+// Shortest still-failing prefix (each candidate is the prefix plus kHalt).
+Program TruncationPass(const Program& program, const ShrinkPredicate& still_fails) {
+  const std::vector<Instruction> all = CopyInstructions(program);
+  Instruction halt;
+  halt.op = Op::kHalt;
+  for (int32_t keep = 0; keep < program.size(); keep++) {
+    std::vector<Instruction> candidate(all.begin(), all.begin() + keep);
+    candidate.push_back(halt);
+    Program p = MakeProgram(std::move(candidate), program);
+    if (still_fails(p)) {
+      return p;
+    }
+  }
+  return program;
+}
+
+// Replace every non-essential instruction with kNop, repeating until no
+// replacement survives the predicate.
+Program NopOutPass(const Program& program, const ShrinkPredicate& still_fails) {
+  std::vector<Instruction> best = CopyInstructions(program);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < best.size(); i++) {
+      if (best[i].op == Op::kNop) {
+        continue;
+      }
+      std::vector<Instruction> candidate = best;
+      candidate[i] = Instruction{};  // kNop
+      Program p = MakeProgram(candidate, program);
+      if (still_fails(p)) {
+        best = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return MakeProgram(std::move(best), program);
+}
+
+}  // namespace
+
+int CountNonNop(const Program& program) {
+  int count = 0;
+  for (int32_t i = 0; i < program.size(); i++) {
+    if (program.at(i).op != Op::kNop) {
+      count++;
+    }
+  }
+  return count;
+}
+
+Program ShrinkProgram(const Program& program, const ShrinkPredicate& still_fails) {
+  SPECBENCH_CHECK_MSG(still_fails(program), "ShrinkProgram input must reproduce the divergence");
+  Program best = program;
+  int best_size = CountNonNop(best);
+  for (;;) {
+    Program candidate = NopOutPass(TruncationPass(best, still_fails), still_fails);
+    const int size = CountNonNop(candidate);
+    if (size >= best_size) {
+      break;
+    }
+    best = std::move(candidate);
+    best_size = size;
+  }
+  return best;
+}
+
+}  // namespace specbench

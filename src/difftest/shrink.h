@@ -1,0 +1,37 @@
+// Greedy minimizer for diverging difftest programs.
+//
+// Given a program on which the machine and the reference interpreter
+// disagree, produce the smallest reproducer we can find with two greedy
+// passes repeated to a fixed point:
+//   1. truncation — cut the program after the shortest prefix (plus a
+//      terminating kHalt) that still diverges, and
+//   2. nop-out — replace each remaining instruction with kNop when the
+//      divergence survives without it.
+// Replacing rather than deleting keeps every branch-target index valid, so
+// candidates stay well-formed; `still_fails` is expected to validate each
+// candidate with the reference interpreter before touching the machine
+// (RunReference rejects programs that would trip a SPECBENCH_CHECK abort).
+#ifndef SPECTREBENCH_SRC_DIFFTEST_SHRINK_H_
+#define SPECTREBENCH_SRC_DIFFTEST_SHRINK_H_
+
+#include <functional>
+
+#include "src/isa/program.h"
+
+namespace specbench {
+
+// True when `program` still reproduces the divergence being minimized. Must
+// return false (not crash) on invalid candidates.
+using ShrinkPredicate = std::function<bool(const Program&)>;
+
+// Shrinks `program` under `still_fails`. The input must itself satisfy the
+// predicate; the result always does. Deterministic: no randomness involved.
+Program ShrinkProgram(const Program& program, const ShrinkPredicate& still_fails);
+
+// Size metric for shrunk programs: instructions that are not kNop. (The
+// nop-out pass leaves kNop placeholders behind to preserve branch targets.)
+int CountNonNop(const Program& program);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_DIFFTEST_SHRINK_H_

@@ -1,5 +1,7 @@
 #include "src/isa/isa.h"
 
+#include <cstring>
+
 namespace specbench {
 
 const char* OpName(Op op) {
@@ -48,6 +50,45 @@ const char* OpName(Op op) {
     case Op::kHalt: return "halt";
   }
   return "?";
+}
+
+const char* AluOpName(AluOp op) {
+  switch (op) {
+    case AluOp::kAdd: return "add";
+    case AluOp::kSub: return "sub";
+    case AluOp::kAnd: return "and";
+    case AluOp::kOr: return "or";
+    case AluOp::kXor: return "xor";
+    case AluOp::kShl: return "shl";
+    case AluOp::kShr: return "shr";
+    case AluOp::kCmpLt: return "cmp_lt";
+    case AluOp::kCmpGe: return "cmp_ge";
+    case AluOp::kCmpEq: return "cmp_eq";
+    case AluOp::kCmpNe: return "cmp_ne";
+  }
+  return "?";
+}
+
+bool ParseOpName(const char* name, Op* out) {
+  for (int i = 0; i <= static_cast<int>(Op::kHalt); i++) {
+    const Op op = static_cast<Op>(i);
+    if (std::strcmp(OpName(op), name) == 0) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseAluOpName(const char* name, AluOp* out) {
+  for (int i = 0; i <= static_cast<int>(AluOp::kCmpNe); i++) {
+    const AluOp op = static_cast<AluOp>(i);
+    if (std::strcmp(AluOpName(op), name) == 0) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool IsConditionalBranch(Op op) { return op == Op::kBranchNz || op == Op::kBranchZ; }

@@ -145,7 +145,13 @@ inline bool IsKernelMode(Mode mode) {
 }
 
 const char* OpName(Op op);
+const char* AluOpName(AluOp op);
 const char* ModeName(Mode mode);
+
+// Inverse lookups over the names above (corpus/reproducer parsing). Return
+// false on unknown names.
+bool ParseOpName(const char* name, Op* out);
+bool ParseAluOpName(const char* name, AluOp* out);
 
 // --- Static instruction metadata -----------------------------------------
 //

@@ -272,16 +272,16 @@ std::vector<StoreBuffer::Entry> StoreBuffer::Push(uint64_t paddr, uint64_t value
 }
 
 std::vector<StoreBuffer::Entry> StoreBuffer::DrainResolved(uint64_t now) {
-  std::vector<Entry> drained;
-  size_t keep = 0;
-  for (size_t i = 0; i < entries_.size(); i++) {
-    if (entries_[i].resolve_at <= now) {
-      drained.push_back(entries_[i]);
-    } else {
-      entries_[keep++] = entries_[i];
-    }
+  // Stores retire to memory in program order: drain only the resolved
+  // *prefix*. A younger resolved store must wait behind an older store whose
+  // address/data are still in flight, or memory ends up with the older value
+  // and loads forward from the wrong entry.
+  size_t prefix = 0;
+  while (prefix < entries_.size() && entries_[prefix].resolve_at <= now) {
+    prefix++;
   }
-  entries_.resize(keep);
+  std::vector<Entry> drained(entries_.begin(), entries_.begin() + prefix);
+  entries_.erase(entries_.begin(), entries_.begin() + prefix);
   return drained;
 }
 

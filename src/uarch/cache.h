@@ -154,7 +154,9 @@ class StoreBuffer {
   // (the caller writes them to memory).
   std::vector<Entry> Push(uint64_t paddr, uint64_t value, uint64_t resolve_at,
                           uint64_t addr_resolve_at);
-  // Removes and returns all entries with resolve_at <= now.
+  // Removes and returns the longest prefix of entries with resolve_at <=
+  // now. Prefix, not all matches: stores retire to memory in program order,
+  // so a resolved store stays buffered behind an older unresolved one.
   std::vector<Entry> DrainResolved(uint64_t now);
   // Removes and returns everything (fences, context switches).
   std::vector<Entry> DrainAll();

@@ -718,7 +718,11 @@ void Machine::Step() {
     case Op::kAlu: {
       const uint64_t start = std::max(now_, srcs_ready);
       const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : regs_[in.src2];
-      WriteReg(in.dst, AluCompute(in.alu, regs_[in.src1], b), start + cpu_.latency.alu);
+      uint64_t value = AluCompute(in.alu, regs_[in.src1], b);
+      if (alu_fault_countdown_ > 0 && --alu_fault_countdown_ == 0) {
+        value ^= 1;  // injected fault (InjectAluFaultForTesting)
+      }
+      WriteReg(in.dst, value, start + cpu_.latency.alu);
       now_++;
       break;
     }

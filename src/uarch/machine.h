@@ -178,6 +178,12 @@ class Machine {
   // Caller-context hash feeding BHB-indexed BTBs (Zen 3 policy).
   uint64_t caller_context() const;
 
+  // Test-only fault injection: the `nth` committed kAlu result (1-based) has
+  // its low bit flipped, a one-off silent state corruption. Used by the
+  // differential-execution oracle's self-check to prove it detects simulator
+  // bugs; 0 (the default) disables the fault entirely.
+  void InjectAluFaultForTesting(uint64_t nth) { alu_fault_countdown_ = nth; }
+
  private:
   struct SpecRegs {
     std::array<uint64_t, kNumRegs> value;
@@ -246,6 +252,7 @@ class Machine {
   bool stibp_active_ = false;
   std::vector<uint64_t> call_site_stack_;
   uint64_t kernel_entry_counter_ = 0;
+  uint64_t alu_fault_countdown_ = 0;
 
   std::array<uint64_t, static_cast<size_t>(Pmc::kCount)> pmcs_{};
 

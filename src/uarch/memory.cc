@@ -1,5 +1,7 @@
 #include "src/uarch/memory.h"
 
+#include <algorithm>
+
 namespace specbench {
 
 Translation IdentityMemoryMap::Translate(uint64_t vaddr, uint64_t asid, Mode mode) const {
@@ -21,6 +23,18 @@ uint64_t SparseMemory::Read(uint64_t paddr) const {
 
 void SparseMemory::Write(uint64_t paddr, uint64_t value) {
   words_[AlignWord(paddr)] = value;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> SparseMemory::SortedNonZeroWords() const {
+  std::vector<std::pair<uint64_t, uint64_t>> words;
+  words.reserve(words_.size());
+  for (const auto& [addr, value] : words_) {
+    if (value != 0) {
+      words.emplace_back(addr, value);
+    }
+  }
+  std::sort(words.begin(), words.end());
+  return words;
 }
 
 }  // namespace specbench

@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/isa/isa.h"
 
@@ -58,6 +60,13 @@ class SparseMemory {
   uint64_t Read(uint64_t paddr) const;
   void Write(uint64_t paddr, uint64_t value);
   size_t footprint_words() const { return words_.size(); }
+
+  // Sorted (address, value) pairs of every nonzero word. A word explicitly
+  // written to zero is equivalent to one never touched (reads return zero
+  // either way), so dropping zeros gives a canonical snapshot two
+  // independently-populated memories can be compared by (the difftest
+  // oracle's memory digest).
+  std::vector<std::pair<uint64_t, uint64_t>> SortedNonZeroWords() const;
 
  private:
   std::unordered_map<uint64_t, uint64_t> words_;

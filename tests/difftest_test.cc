@@ -1,0 +1,334 @@
+// Tests for the differential-execution oracle (src/difftest/): the reference
+// interpreter, the random-program generator, the differential runner, the
+// greedy shrinker, and the textual corpus format — including the oracle
+// self-check that proves an injected simulator bug is detected, shrunk to a
+// small reproducer, and emitted as a replayable command line.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/difftest/corpus.h"
+#include "src/difftest/difftest.h"
+#include "src/difftest/generator.h"
+#include "src/difftest/reference.h"
+#include "src/difftest/shrink.h"
+#include "src/isa/program.h"
+
+namespace specbench {
+namespace {
+
+// --- Reference interpreter ------------------------------------------------
+
+TEST(Reference, ExecutesStraightLineProgram) {
+  ProgramBuilder b;
+  b.MovImm(0, 5);
+  b.AluImm(AluOp::kAdd, 1, 0, 7);
+  b.Mul(2, 0, 1);
+  b.Store(MemRef{kNoReg, kNoReg, 1, 0x1000}, 2);
+  b.Load(3, MemRef{kNoReg, kNoReg, 1, 0x1000});
+  b.Halt();
+  const ReferenceResult r = RunReference(b.Build());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.state.halted);
+  EXPECT_EQ(r.state.retired, 6u);
+  EXPECT_EQ(r.state.regs[0], 5u);
+  EXPECT_EQ(r.state.regs[1], 12u);
+  EXPECT_EQ(r.state.regs[2], 60u);
+  EXPECT_EQ(r.state.regs[3], 60u);
+}
+
+TEST(Reference, CallAndRetRoundTripThroughSimulatedStack) {
+  ProgramBuilder b;
+  Label func = b.NewLabel();
+  Label main = b.NewLabel();
+  b.MovImm(kRegSp, 0x8000);
+  b.Jmp(main);
+  b.Bind(func);
+  b.MovImm(1, 42);
+  b.Ret();
+  b.Bind(main);
+  b.Call(func);
+  b.Halt();
+  const ReferenceResult r = RunReference(b.Build());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.state.regs[1], 42u);
+  EXPECT_EQ(r.state.regs[kRegSp], 0x8000u);  // balanced push/pop
+}
+
+TEST(Reference, RejectsTimingAndPrivilegedOpcodes) {
+  ProgramBuilder b;
+  b.Rdtsc(0);
+  b.Halt();
+  const ReferenceResult r = RunReference(b.Build());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("rdtsc"), std::string::npos) << r.error;
+}
+
+TEST(Reference, RejectsRunawayPrograms) {
+  ProgramBuilder b;
+  Label top = b.NewLabel();
+  b.Bind(top);
+  b.Jmp(top);  // infinite loop, never halts
+  const ReferenceResult r = RunReference(b.Build(), /*max_instructions=*/1000);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Reference, TraceHashDependsOnExecutedPath) {
+  ProgramBuilder a;
+  a.MovImm(0, 1);
+  a.Halt();
+  ProgramBuilder b;
+  b.MovImm(1, 1);  // same op, different operands -> same trace (index, op)
+  b.Halt();
+  ProgramBuilder c;
+  c.Nop();
+  c.Halt();
+  const ReferenceResult ra = RunReference(a.Build());
+  const ReferenceResult rb = RunReference(b.Build());
+  const ReferenceResult rc = RunReference(c.Build());
+  ASSERT_TRUE(ra.ok && rb.ok && rc.ok);
+  // The trace hash covers (index, op), not operands or timing.
+  EXPECT_EQ(ra.state.trace_hash, rb.state.trace_hash);
+  EXPECT_NE(ra.state.trace_hash, rc.state.trace_hash);
+}
+
+TEST(Reference, DescribeArchDivergencePinpointsFirstDifference) {
+  ArchState a, b;
+  EXPECT_EQ(DescribeArchDivergence(a, b), "");
+  b.regs[3] = 7;
+  EXPECT_NE(DescribeArchDivergence(a, b).find("reg[3]"), std::string::npos);
+  b = a;
+  b.memory_digest = 1;
+  EXPECT_NE(DescribeArchDivergence(a, b).find("memory digest"), std::string::npos);
+}
+
+// --- Generator ------------------------------------------------------------
+
+TEST(Generator, DeterministicAcrossCalls) {
+  for (uint64_t seed = 0; seed < 10; seed++) {
+    const std::string a = SerializeCorpusProgram(GenerateProgram(seed), "");
+    const std::string b = SerializeCorpusProgram(GenerateProgram(seed), "");
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(Generator, EveryProgramTerminatesOnTheReference) {
+  for (uint64_t seed = 0; seed < 50; seed++) {
+    const Program program = GenerateProgram(seed);
+    const ReferenceResult r = RunReference(program);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.error;
+    EXPECT_TRUE(r.state.halted) << "seed " << seed;
+  }
+}
+
+TEST(Generator, EmitsTheHazardShapesItAdvertises) {
+  int loads = 0, stores = 0, branches = 0, indirects = 0, calls = 0, rets = 0, fences = 0,
+      cmovs = 0;
+  for (uint64_t seed = 0; seed < 20; seed++) {
+    const Program p = GenerateProgram(seed);
+    for (int32_t i = 0; i < p.size(); i++) {
+      switch (p.at(i).op) {
+        case Op::kLoad: loads++; break;
+        case Op::kStore: stores++; break;
+        case Op::kBranchNz:
+        case Op::kBranchZ: branches++; break;
+        case Op::kIndirectJmp:
+        case Op::kIndirectCall: indirects++; break;
+        case Op::kCall: calls++; break;
+        case Op::kRet: rets++; break;
+        case Op::kLfence:
+        case Op::kMfence:
+        case Op::kCpuid: fences++; break;
+        case Op::kCmov: cmovs++; break;
+        default: break;
+      }
+    }
+  }
+  EXPECT_GT(loads, 0);
+  EXPECT_GT(stores, 0);
+  EXPECT_GT(branches, 0);
+  EXPECT_GT(indirects, 0);
+  EXPECT_GT(calls, 0);
+  EXPECT_GT(rets, 0);
+  EXPECT_GT(fences, 0);
+  EXPECT_GT(cmovs, 0);  // the bounds-checked-load (Spectre V1) shape
+}
+
+// --- The oracle -----------------------------------------------------------
+
+TEST(Oracle, MachineMatchesReferenceAcrossAllCpusAndConfigs) {
+  DifftestOptions options;
+  options.seed_begin = 0;
+  options.seed_end = 10;
+  options.jobs = 4;
+  const DifftestReport report = RunDifftest(options);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_EQ(report.programs, 10u);
+  // 10 programs x 8 CPU models x 6 mitigation configs.
+  EXPECT_EQ(report.executions, 480u);
+}
+
+TEST(Oracle, ReportIsByteIdenticalAcrossJobCounts) {
+  // Includes a diverging seed (injected fault) so the divergence/shrink path
+  // is covered by the determinism guarantee, not just the happy path.
+  DifftestOptions options;
+  options.seed_begin = 0;
+  options.seed_end = 8;
+  options.cpus = {Uarch::kSkylakeClient};
+  DiffConfig off;
+  ASSERT_TRUE(TryGetDiffConfigByName("off", &off));
+  options.configs = {off};
+  options.inject_alu_fault_after = 1;
+  options.jobs = 1;
+  const std::string serial = RunDifftest(options).ToText();
+  options.jobs = 8;
+  const std::string parallel = RunDifftest(options).ToText();
+  EXPECT_EQ(serial, parallel);
+}
+
+// The oracle self-check: corrupt the first committed ALU result inside the
+// machine and demand that difftest (a) notices, (b) shrinks the divergence
+// to a small reproducer, and (c) emits a self-contained replay command.
+TEST(Oracle, InjectedSimulatorBugIsCaughtShrunkAndReplayable) {
+  DifftestOptions options;
+  options.seed_begin = 0;
+  options.seed_end = 5;
+  options.cpus = {Uarch::kSkylakeClient};
+  DiffConfig off;
+  ASSERT_TRUE(TryGetDiffConfigByName("off", &off));
+  options.configs = {off};
+  options.inject_alu_fault_after = 1;
+  const DifftestReport report = RunDifftest(options);
+  ASSERT_FALSE(report.ok()) << "a corrupted ALU must not pass the oracle";
+
+  const Divergence& d = report.divergences.front();
+  EXPECT_LE(d.shrunk_size, 20) << "greedy shrinking must reach a small reproducer";
+  EXPECT_GT(d.shrunk_size, 0);
+  // Self-contained repro command line.
+  std::ostringstream want_seeds;
+  want_seeds << "--seeds=" << d.seed << ":" << d.seed + 1;
+  EXPECT_NE(d.repro.find("spectrebench difftest"), std::string::npos) << d.repro;
+  EXPECT_NE(d.repro.find(want_seeds.str()), std::string::npos) << d.repro;
+  EXPECT_NE(d.repro.find("--inject-alu-fault=1"), std::string::npos) << d.repro;
+
+  // The shrunk program still reproduces the divergence, and survives a
+  // corpus round trip.
+  const std::string text = SerializeCorpusProgram(d.shrunk, "injected-fault reproducer");
+  Program parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCorpusProgram(text, &parsed, &error)) << error;
+  const ReferenceResult ref = RunReference(parsed);
+  ASSERT_TRUE(ref.ok) << ref.error;
+  const ArchState got = RunMachineArch(parsed, GetCpuModel(Uarch::kSkylakeClient), off,
+                                       1'000'000, /*inject_alu_fault_after=*/1);
+  EXPECT_FALSE(got == ref.state);
+  // ...and is clean without the injected fault.
+  const ArchState clean = RunMachineArch(parsed, GetCpuModel(Uarch::kSkylakeClient), off,
+                                         1'000'000, /*inject_alu_fault_after=*/0);
+  EXPECT_TRUE(clean == ref.state) << DescribeArchDivergence(ref.state, clean);
+}
+
+// --- Shrinker -------------------------------------------------------------
+
+TEST(Shrink, ReducesToTheEssentialInstructions) {
+  // Build a program with one load-bearing instruction buried in junk; the
+  // predicate asks for reg[1] == 42 at halt.
+  ProgramBuilder b;
+  for (int i = 0; i < 10; i++) {
+    b.MovImm(0, i);
+  }
+  b.MovImm(1, 42);
+  for (int i = 0; i < 10; i++) {
+    b.AluImm(AluOp::kAdd, 2, 2, 1);
+  }
+  b.Halt();
+  const auto predicate = [](const Program& p) {
+    const ReferenceResult r = RunReference(p, 10'000);
+    return r.ok && r.state.regs[1] == 42;
+  };
+  const Program shrunk = ShrinkProgram(b.Build(), predicate);
+  EXPECT_TRUE(predicate(shrunk));
+  // mov_imm r1, 42 and the halt.
+  EXPECT_EQ(CountNonNop(shrunk), 2);
+}
+
+// --- Corpus format --------------------------------------------------------
+
+TEST(Corpus, RoundTripsGeneratedPrograms) {
+  const Program original = GenerateProgram(7);
+  const std::string text = SerializeCorpusProgram(original, "seed=7 round trip");
+  Program parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCorpusProgram(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.base_vaddr(), original.base_vaddr());
+  for (int32_t i = 0; i < original.size(); i++) {
+    const Instruction& a = original.at(i);
+    const Instruction& b = parsed.at(i);
+    EXPECT_EQ(a.op, b.op) << i;
+    EXPECT_EQ(a.alu, b.alu) << i;
+    EXPECT_EQ(a.dst, b.dst) << i;
+    EXPECT_EQ(a.src1, b.src1) << i;
+    EXPECT_EQ(a.src2, b.src2) << i;
+    EXPECT_EQ(a.use_imm, b.use_imm) << i;
+    EXPECT_EQ(a.imm, b.imm) << i;
+    EXPECT_EQ(a.mem.base, b.mem.base) << i;
+    EXPECT_EQ(a.mem.index, b.mem.index) << i;
+    EXPECT_EQ(a.mem.scale, b.mem.scale) << i;
+    EXPECT_EQ(a.mem.disp, b.mem.disp) << i;
+    EXPECT_EQ(a.target, b.target) << i;
+  }
+  // Serialization is canonical: parse(serialize(p)) serializes identically.
+  EXPECT_EQ(SerializeCorpusProgram(parsed, "seed=7 round trip"), text);
+}
+
+TEST(Corpus, RejectsMalformedInputWithLineNumbers) {
+  Program out;
+  std::string error;
+  EXPECT_FALSE(ParseCorpusProgram("i op=not_an_opcode\n", &out, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_FALSE(ParseCorpusProgram("base 0x400000\ni op=load mem=1,2\n", &out, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_FALSE(ParseCorpusProgram("# only comments\n", &out, &error));
+}
+
+// Every committed reproducer in tests/corpus/ must stay architecturally
+// clean on every CPU x config: these are shrunk programs that once exposed
+// real simulator bugs, kept as regression tests.
+TEST(Corpus, CommittedReproducersStayFixed) {
+  const std::filesystem::path dir =
+      std::filesystem::path(SPECBENCH_TEST_SOURCE_DIR) / "corpus";
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".difftest") {
+      continue;
+    }
+    files++;
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    Program program;
+    std::string error;
+    ASSERT_TRUE(ParseCorpusProgram(text.str(), &program, &error))
+        << entry.path() << ": " << error;
+    const ReferenceResult ref = RunReference(program);
+    ASSERT_TRUE(ref.ok) << entry.path() << ": " << ref.error;
+    for (Uarch u : AllUarches()) {
+      for (const DiffConfig& config : DefaultDiffConfigs()) {
+        const ArchState got = RunMachineArch(program, GetCpuModel(u), config, 1'000'000);
+        EXPECT_TRUE(got == ref.state)
+            << entry.path() << " on " << UarchName(u) << "/" << config.name << ": "
+            << DescribeArchDivergence(ref.state, got);
+      }
+    }
+  }
+  EXPECT_GE(files, 1) << "tests/corpus/ should contain at least one reproducer";
+}
+
+}  // namespace
+}  // namespace specbench

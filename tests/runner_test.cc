@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -255,6 +259,156 @@ TEST(Sweep, RealGridDeterministicAcrossJobCounts) {
     options.jobs = jobs;
     EXPECT_EQ(sweep.Run(options).ToJson(), reference) << "jobs=" << jobs;
   }
+}
+
+TEST(Fnv1a, MatchesPublishedTestVectors) {
+  // Reference vectors from the FNV specification's test suite.
+  EXPECT_EQ(Fnv1a64(""), kFnv1aBasis);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  // Chaining: hashing in two pieces equals hashing the concatenation.
+  EXPECT_EQ(Fnv1a64("bar", Fnv1a64("foo")), Fnv1a64("foobar"));
+}
+
+// The determinism story rests on per-cell streams being *independent*: a
+// cell must not replay a neighbouring cell's draws. Seed distinct cell
+// identities (including two base seeds differing by 1, the adversarial case
+// SplitMix64 finalization exists for) and demand that no 64-bit value
+// appears in two different streams within the first 1000 draws. For good
+// 64-bit streams a shared draw has probability ~ 10^-13 — a collision here
+// means the derivation is broken, not bad luck.
+TEST(Rng, PerCellSplitMixStreamsArePairwiseDisjoint) {
+  constexpr int kDraws = 1000;
+  std::vector<uint64_t> cell_seeds;
+  for (uint64_t base : {1, 2}) {
+    for (const char* cpu : {"Skylake", "Zen 3"}) {
+      for (const char* workload : {"lebench", "octane2", "blackscholes"}) {
+        cell_seeds.push_back(CellSeed(base, cpu, "attribution", workload));
+      }
+    }
+  }
+  std::vector<std::set<uint64_t>> streams;
+  for (uint64_t seed : cell_seeds) {
+    uint64_t state = seed;
+    std::set<uint64_t> draws;
+    for (int i = 0; i < kDraws; i++) {
+      draws.insert(SplitMix64Next(&state));
+    }
+    EXPECT_EQ(draws.size(), static_cast<size_t>(kDraws));  // no repeats inside a stream
+    streams.push_back(std::move(draws));
+  }
+  for (size_t a = 0; a < streams.size(); a++) {
+    for (size_t b = a + 1; b < streams.size(); b++) {
+      for (uint64_t value : streams[a]) {
+        ASSERT_EQ(streams[b].count(value), 0u)
+            << "streams " << a << " and " << b << " share draw " << value;
+      }
+    }
+  }
+}
+
+TEST(Rng, PerCellXoshiroStreamsArePairwiseDisjoint) {
+  // Same property one layer up: the Rng streams cells actually consume.
+  constexpr int kDraws = 1000;
+  std::vector<std::set<uint64_t>> streams;
+  for (uint64_t base : {1, 2}) {
+    for (const char* workload : {"lebench", "octane2", "swaptions"}) {
+      Rng rng(CellSeed(base, "Skylake", "attribution", workload));
+      std::set<uint64_t> draws;
+      for (int i = 0; i < kDraws; i++) {
+        draws.insert(rng.NextU64());
+      }
+      EXPECT_EQ(draws.size(), static_cast<size_t>(kDraws));
+      streams.push_back(std::move(draws));
+    }
+  }
+  for (size_t a = 0; a < streams.size(); a++) {
+    for (size_t b = a + 1; b < streams.size(); b++) {
+      for (uint64_t value : streams[a]) {
+        ASSERT_EQ(streams[b].count(value), 0u)
+            << "streams " << a << " and " << b << " share draw " << value;
+      }
+    }
+  }
+}
+
+// --- Emitter golden files -------------------------------------------------
+//
+// The JSON/CSV emitters promise byte-reproducible output (fixed key order,
+// %.17g doubles, no timing fields). The fixtures under tests/golden/ pin
+// those bytes; regenerate them after an intentional format change with
+//   SPECBENCH_REGEN_GOLDEN=1 ./runner_test --gtest_filter='SweepEmitters.*'
+// and review the diff.
+
+// Hand-constructed result exercising the tricky cases: CPU and config names
+// containing spaces, commas and double quotes (CSV quoting), multiple
+// metrics per cell, exactly-representable and tiny doubles, a non-converged
+// cell, and a wall_ms value that must NOT leak into either emitter.
+SweepResult GoldenSweepResult() {
+  SweepResult result;
+  result.base_seed = 42;
+  SweepCellResult a;
+  a.key = SweepCellKey{"Skylake Client", "nopti,nopcid", "lebench"};
+  a.seed = 11;
+  a.output.metrics.push_back(CellMetric{"total", "Total overhead", {12.5, 0.25}});
+  a.output.metrics.push_back(CellMetric{"pti", "PTI", {7.0625, 0.125}});
+  a.output.samples = 40;
+  a.output.converged = true;
+  a.wall_ms = 123.456;  // timing: excluded from emitters by contract
+  SweepCellResult b;
+  b.key = SweepCellKey{"Zen 2", "say \"cheese\"", "octane2"};
+  b.seed = 12;
+  b.output.metrics.push_back(CellMetric{"total", "Total overhead", {0.0001220703125, 3.0517578125e-05}});
+  b.output.samples = 8;
+  b.output.converged = false;
+  b.output.saw_non_finite = true;
+  result.cells = {a, b};
+  return result;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return (std::filesystem::path(SPECBENCH_TEST_SOURCE_DIR) / "golden" / name).string();
+}
+
+std::string CheckAgainstGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("SPECBENCH_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    return actual;
+  }
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path
+                         << " (regenerate with SPECBENCH_REGEN_GOLDEN=1)";
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(SweepEmitters, JsonMatchesGoldenFileByteForByte) {
+  const std::string actual = GoldenSweepResult().ToJson();
+  EXPECT_EQ(actual, CheckAgainstGolden(actual, "sweep.json"));
+}
+
+TEST(SweepEmitters, CsvMatchesGoldenFileByteForByte) {
+  const std::string actual = GoldenSweepResult().ToCsv();
+  EXPECT_EQ(actual, CheckAgainstGolden(actual, "sweep.csv"));
+}
+
+TEST(SweepEmitters, CsvQuotesNamesWithCommasAndQuotes) {
+  const std::string csv = GoldenSweepResult().ToCsv();
+  // RFC 4180: embedded commas force quoting; embedded quotes double up.
+  EXPECT_NE(csv.find("\"nopti,nopcid\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"say \"\"cheese\"\"\""), std::string::npos) << csv;
+  // Names without specials stay unquoted.
+  EXPECT_NE(csv.find("Skylake Client,"), std::string::npos) << csv;
+}
+
+TEST(SweepEmitters, JsonEscapesQuotesAndOmitsTiming) {
+  const std::string json = GoldenSweepResult().ToJson();
+  EXPECT_NE(json.find("say \\\"cheese\\\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("wall"), std::string::npos) << json;
+  EXPECT_EQ(json.find("123.456"), std::string::npos) << json;
 }
 
 TEST(Sweep, AttributionRoundTripThroughSweepResult) {

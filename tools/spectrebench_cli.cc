@@ -7,14 +7,19 @@
 //   spectrebench fig2|fig3|fig5|sec44|sec45 [--fast] [--cpus=Zen 3,Broadwell]
 //   spectrebench sweep [--grids=fig2,fig3,sec45] [--jobs=N] [--seed=S] [--csv]
 //   spectrebench attacks [--cpus=...]
+//   spectrebench difftest [--seeds=A:B] [--cpus=...] [--configs=...] [--jobs=N]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/corpus.h"
+#include "src/difftest/corpus.h"
+#include "src/difftest/difftest.h"
 #include "src/analysis/crossval.h"
 #include "src/analysis/detectors.h"
 #include "src/analysis/report.h"
@@ -38,6 +43,12 @@ struct CliOptions {
   std::vector<std::string> grids = {"fig2", "fig3", "sec45"};
   std::vector<std::string> workloads;  // empty = all
   std::vector<std::string> configs;    // empty = all
+  // difftest options.
+  uint64_t seed_begin = 0;             // --seeds=A:B (B exclusive)
+  uint64_t seed_end = 100;
+  uint64_t inject_alu_fault = 0;       // oracle self-check: corrupt nth ALU op
+  std::string corpus_out;              // directory for shrunk reproducers
+  std::string replay;                  // corpus file to replay instead
 };
 
 std::vector<std::string> SplitCsv(const std::string& list) {
@@ -168,6 +179,91 @@ int RunSweep(const CliOptions& options) {
   return 0;
 }
 
+// Differential-execution oracle: reference interpreter vs the machine under
+// every CPU model x mitigation config. Exit 0 iff no divergence.
+int RunDifftestCommand(const CliOptions& options) {
+  DifftestOptions opts;
+  opts.seed_begin = options.seed_begin;
+  opts.seed_end = options.seed_end;
+  opts.cpus = options.cpus;
+  opts.jobs = options.jobs;
+  opts.inject_alu_fault_after = options.inject_alu_fault;
+  for (const std::string& name : options.configs) {
+    DiffConfig config;
+    if (!TryGetDiffConfigByName(name, &config)) {
+      std::fprintf(stderr, "unknown difftest config: \"%s\"\nvalid names:\n", name.c_str());
+      for (const DiffConfig& c : DefaultDiffConfigs()) {
+        std::fprintf(stderr, "  %s\n", c.name.c_str());
+      }
+      return 2;
+    }
+    opts.configs.push_back(config);
+  }
+
+  // Replay mode: run one corpus reproducer instead of generating programs.
+  if (!options.replay.empty()) {
+    std::ifstream in(options.replay);
+    if (!in) {
+      std::fprintf(stderr, "difftest: cannot read %s\n", options.replay.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Program program;
+    std::string error;
+    if (!ParseCorpusProgram(text.str(), &program, &error)) {
+      std::fprintf(stderr, "difftest: %s: %s\n", options.replay.c_str(), error.c_str());
+      return 2;
+    }
+    const ReferenceResult ref = RunReference(program);
+    if (!ref.ok) {
+      std::printf("reference: %s\n", ref.error.c_str());
+      return 1;
+    }
+    const std::vector<DiffConfig> configs =
+        opts.configs.empty() ? DefaultDiffConfigs() : opts.configs;
+    int divergences = 0;
+    for (Uarch u : opts.cpus) {
+      for (const DiffConfig& config : configs) {
+        const ArchState got = RunMachineArch(program, GetCpuModel(u), config, 1'000'000,
+                                             opts.inject_alu_fault_after);
+        if (!(got == ref.state)) {
+          std::printf("DIVERGENCE cpu=%s config=%s: %s\n", UarchName(u), config.name.c_str(),
+                      DescribeArchDivergence(ref.state, got).c_str());
+          divergences++;
+        }
+      }
+    }
+    std::printf("replay %s: %d divergences\n", options.replay.c_str(), divergences);
+    return divergences == 0 ? 0 : 1;
+  }
+
+  const DifftestReport report = RunDifftest(opts);
+  std::printf("%s", report.ToText().c_str());
+  if (!options.corpus_out.empty()) {
+    for (const Divergence& d : report.divergences) {
+      if (d.shrunk.size() == 0) {
+        continue;
+      }
+      std::string cpu_slug = d.cpu;
+      for (char& c : cpu_slug) {
+        if (c == ' ') c = '-';
+      }
+      std::ostringstream path;
+      path << options.corpus_out << "/seed-" << d.seed << "-" << cpu_slug << "-" << d.config
+           << ".difftest";
+      std::ostringstream comment;
+      comment << "seed=" << d.seed << " cpu=" << d.cpu << " config=" << d.config << "\n"
+              << d.detail << "\n"
+              << "repro: " << d.repro;
+      std::ofstream out(path.str());
+      out << SerializeCorpusProgram(d.shrunk, comment.str());
+      std::fprintf(stderr, "difftest: wrote %s\n", path.str().c_str());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
 // Static gadget analysis + simulator cross-validation over the corpus.
 int RunAnalyze(const CliOptions& options) {
   std::vector<CorpusReport> reports;
@@ -255,7 +351,14 @@ void PrintUsage() {
       "               JSON/CSV on stdout is byte-identical for any --jobs\n"
       "  attacks      run the full attack ground-truth suite\n"
       "  analyze      static gadget analysis of the corpus, cross-validated\n"
-      "               against the simulator [--json]\n");
+      "               against the simulator [--json]\n"
+      "  difftest     differential-execution oracle: random programs on the\n"
+      "               reference interpreter vs the machine under every CPU x\n"
+      "               mitigation config: [--seeds=A:B] [--cpus=...] \n"
+      "               [--configs=off,defaults,ssbd,ibrs,nopcid,stibp]\n"
+      "               [--jobs=N] [--corpus-out=DIR] [--replay=FILE]\n"
+      "               [--inject-alu-fault=N]; output is byte-identical for\n"
+      "               any --jobs; exit 0 iff architecturally equivalent\n");
 }
 
 }  // namespace
@@ -289,6 +392,24 @@ int main(int argc, char** argv) {
       options.jobs = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      char* end = nullptr;
+      options.seed_begin = std::strtoull(arg.c_str() + 8, &end, 10);
+      if (end == nullptr || *end != ':') {
+        std::fprintf(stderr, "--seeds= wants A:B (B exclusive), got %s\n", arg.c_str());
+        return 2;
+      }
+      options.seed_end = std::strtoull(end + 1, nullptr, 10);
+      if (options.seed_end < options.seed_begin) {
+        std::fprintf(stderr, "--seeds= range is empty: %s\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--inject-alu-fault=", 0) == 0) {
+      options.inject_alu_fault = std::strtoull(arg.c_str() + 19, nullptr, 10);
+    } else if (arg.rfind("--corpus-out=", 0) == 0) {
+      options.corpus_out = arg.substr(13);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      options.replay = arg.substr(9);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 2;
@@ -392,6 +513,9 @@ int main(int argc, char** argv) {
   }
   if (command == "analyze") {
     return RunAnalyze(options);
+  }
+  if (command == "difftest") {
+    return RunDifftestCommand(options);
   }
   std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
   PrintUsage();
