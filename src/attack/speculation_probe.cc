@@ -1,6 +1,7 @@
 #include "src/attack/speculation_probe.h"
 
 #include "src/isa/program.h"
+#include "src/uarch/cycle_attribution.h"
 #include "src/uarch/machine.h"
 #include "src/util/check.h"
 
@@ -31,6 +32,18 @@ void EmitMeasuredBranch(ProgramBuilder& b, Label do_branch) {
 struct ProbeProgram {
   Program program;
 };
+
+// Decides the outcome from the uarch event stream: the sink (attached for
+// the probe run) accumulates divider-active cycles observed inside squashed
+// speculative episodes, the real counter behind Figure 6. The architectural
+// rdpmc delta the program stored at kResultSlot must agree — the two count
+// the same transient divider activity through independent paths.
+ProbeOutcome OutcomeFrom(Machine& m, const CycleAttribution& sink) {
+  const bool speculated = sink.episode_divider_cycles() > 0;
+  SPECBENCH_CHECK_MSG(speculated == (m.PeekData(kResultSlot) > 0),
+                      "episode divider cycles disagree with the rdpmc delta");
+  return speculated ? ProbeOutcome::kSpeculated : ProbeOutcome::kSafe;
+}
 
 // Builds the probe program once; all configurations share it. The indirect
 // branch under test lives inside do_branch, so its pc is identical whether
@@ -175,10 +188,15 @@ ProbeOutcome SpeculationProbe::Run(const ProbeCase& probe_case) const {
                                       probe_case.victim_mode == Mode::kKernel &&
                                       !probe_case.intervening_syscall;
   if (kernel_to_kernel_fused) {
-    // Train and probe inside one kernel entry.
+    // Train and probe inside one kernel entry. The sink covers training too,
+    // but training calls the same site the probe uses, so episode divider
+    // activity is possible exactly when the probe itself speculates.
+    CycleAttribution sink;
+    m.event_bus().AddSink(&sink);
     m.PokeData(kFlagSlot, static_cast<uint64_t>(kFlagTrainAndVictim));
     m.Run(p.SymbolVaddr("user_do_syscall"));
-    return m.PeekData(kResultSlot) > 0 ? ProbeOutcome::kSpeculated : ProbeOutcome::kSafe;
+    m.event_bus().RemoveSink(&sink);
+    return OutcomeFrom(m, sink);
   }
 
   // Train.
@@ -197,7 +215,10 @@ ProbeOutcome SpeculationProbe::Run(const ProbeCase& probe_case) const {
     m.Run(p.SymbolVaddr("user_do_syscall"));
   }
 
-  // Probe: repoint the branch at nop_target and watch the divider.
+  // Probe: repoint the branch at nop_target and watch the divider through
+  // the event bus (training ran unobserved; only the victim run counts).
+  CycleAttribution sink;
+  m.event_bus().AddSink(&sink);
   m.PokeData(kPtrSlot, p.SymbolVaddr("nop_target"));
   if (probe_case.victim_mode == Mode::kUser) {
     m.Run(p.SymbolVaddr("user_victim"));
@@ -205,7 +226,8 @@ ProbeOutcome SpeculationProbe::Run(const ProbeCase& probe_case) const {
     m.PokeData(kFlagSlot, static_cast<uint64_t>(kFlagVictim));
     m.Run(p.SymbolVaddr("user_do_syscall"));
   }
-  return m.PeekData(kResultSlot) > 0 ? ProbeOutcome::kSpeculated : ProbeOutcome::kSafe;
+  m.event_bus().RemoveSink(&sink);
+  return OutcomeFrom(m, sink);
 }
 
 ProbeOutcome SpeculationProbe::RunSameSiteControl() const {
@@ -221,10 +243,13 @@ ProbeOutcome SpeculationProbe::RunSameSiteControl() const {
   for (int i = 0; i < 6; i++) {
     m.Run(p.SymbolVaddr("user_victim"));
   }
+  CycleAttribution sink;
+  m.event_bus().AddSink(&sink);
   m.PokeData(kPtrSlot, p.SymbolVaddr("nop_target"));
   m.PokeData(kResultSlot, 0);
   m.Run(p.SymbolVaddr("user_victim"));
-  return m.PeekData(kResultSlot) > 0 ? ProbeOutcome::kSpeculated : ProbeOutcome::kSafe;
+  m.event_bus().RemoveSink(&sink);
+  return OutcomeFrom(m, sink);
 }
 
 }  // namespace specbench

@@ -241,4 +241,21 @@ const char* ModeName(Mode mode) {
   return "?";
 }
 
+const char* CauseTagName(CauseTag tag) {
+  switch (tag) {
+    case CauseTag::kNone: return "baseline";
+    case CauseTag::kPti: return "pti";
+    case CauseTag::kMds: return "mds";
+    case CauseTag::kSpectreV2: return "spectre_v2";
+    case CauseTag::kSpectreV1: return "spectre_v1";
+    case CauseTag::kSsbd: return "ssbd";
+    case CauseTag::kOther: return "other";
+    case CauseTag::kJsIndexMasking: return "js_index_masking";
+    case CauseTag::kJsObjectGuards: return "js_object_guards";
+    case CauseTag::kJsOther: return "js_other";
+    case CauseTag::kCount: break;
+  }
+  return "?";
+}
+
 }  // namespace specbench

@@ -119,6 +119,30 @@ enum class Pmc : uint8_t {
   kCount,
 };
 
+// Attribution cause tag: which mitigation (or hazard class) an instruction —
+// and the cycles it charges — belongs to. Mitigation code emitters (the OS
+// substrate's entry/exit paths, the JIT's hardening sequences) stamp their
+// instructions with the owning mitigation; everything else is kNone
+// (baseline work). The uarch event bus carries these tags on every event so
+// a CycleAttribution sink can decompose a run's cycles per mitigation
+// without difference-of-runs. The OS-side values mirror the knob ids of the
+// §4.1 successive-disable sweep (src/core/attribution.cc).
+enum class CauseTag : uint8_t {
+  kNone = 0,        // baseline (unmitigated) work
+  kPti,             // page-table isolation: cr3 swaps + TLB refill costs
+  kMds,             // verw buffer clearing
+  kSpectreV2,       // retpolines / IBRS wrmsr / IBPB / RSB stuffing / scrubs
+  kSpectreV1,       // lfence-after-swapgs + kernel index masking
+  kSsbd,            // speculative-store-bypass discipline stalls
+  kOther,           // remaining OS mitigation work (eager FPU, L1TF, ...)
+  kJsIndexMasking,  // JIT array bounds masking
+  kJsObjectGuards,  // JIT object shape guards
+  kJsOther,         // JIT pointer poisoning / speculative load hardening
+  kCount,
+};
+
+const char* CauseTagName(CauseTag tag);
+
 struct Instruction {
   Op op = Op::kNop;
   AluOp alu = AluOp::kAdd;
@@ -129,6 +153,7 @@ struct Instruction {
   int64_t imm = 0;       // immediate / MSR number / PMC id / fp reg index
   MemRef mem;
   int32_t target = -1;   // branch target: instruction index (resolved label)
+  CauseTag cause = CauseTag::kNone;  // attribution tag (see above)
 };
 
 // Execution privilege of the simulated machine.

@@ -67,8 +67,14 @@ Label ProgramBuilder::BindSymbol(const std::string& name) {
 }
 
 ProgramBuilder& ProgramBuilder::Emit(Instruction instr) {
+  instr.cause = current_cause();
   instructions_.push_back(instr);
   return *this;
+}
+
+void ProgramBuilder::PopCause() {
+  SPECBENCH_CHECK_MSG(!cause_stack_.empty(), "PopCause without matching PushCause");
+  cause_stack_.pop_back();
 }
 
 ProgramBuilder& ProgramBuilder::EmitBranch(Op op, uint8_t src, Label target) {

@@ -121,6 +121,17 @@ class ProgramBuilder {
   // Number of instructions emitted so far (== index of the next one).
   int32_t NextIndex() const { return static_cast<int32_t>(instructions_.size()); }
 
+  // Attribution scope: every instruction emitted while a cause is pushed is
+  // stamped with that tag, so mitigation emitters (OS entry/exit paths, JIT
+  // hardening) mark their code once at the source instead of the machine
+  // guessing later. Scopes nest; the innermost tag wins. Prefer the RAII
+  // CauseScope helper below.
+  void PushCause(CauseTag cause) { cause_stack_.push_back(cause); }
+  void PopCause();
+  CauseTag current_cause() const {
+    return cause_stack_.empty() ? CauseTag::kNone : cause_stack_.back();
+  }
+
   // Resolves all labels. Aborts on use of an unbound label.
   Program Build(uint64_t base_vaddr = kDefaultCodeBase);
 
@@ -132,6 +143,21 @@ class ProgramBuilder {
   std::vector<int32_t> label_positions_;       // label id -> instruction index (-1 unbound)
   std::vector<std::pair<int32_t, int32_t>> fixups_;  // (instruction, label id)
   std::map<std::string, int32_t> symbols_;
+  std::vector<CauseTag> cause_stack_;
+};
+
+// RAII attribution scope for ProgramBuilder (see PushCause).
+class CauseScope {
+ public:
+  CauseScope(ProgramBuilder& builder, CauseTag cause) : builder_(builder) {
+    builder_.PushCause(cause);
+  }
+  ~CauseScope() { builder_.PopCause(); }
+  CauseScope(const CauseScope&) = delete;
+  CauseScope& operator=(const CauseScope&) = delete;
+
+ private:
+  ProgramBuilder& builder_;
 };
 
 }  // namespace specbench

@@ -27,6 +27,7 @@ uint8_t JsEmitter::MaskIndex(uint8_t idx, uint8_t len_reg) {
   // On the committed path it is a no-op, but the access address now
   // *data-depends* on the bounds check (paper §5.4: "it blocks execution
   // until the array length has resolved").
+  CauseScope tag(builder_, CauseTag::kJsIndexMasking);
   builder_.MovImm(kScrMasked, 0);
   builder_.Cmov(kScrMasked, idx, kScrCond);
   mitigation_instructions_ += 2;
@@ -41,6 +42,7 @@ uint8_t JsEmitter::GuardObject(uint8_t obj, uint8_t shape_reg, int64_t shape) {
   }
   // obj' = shape_matches ? obj : nullptr, reusing the shape check's result
   // in kScrCond.
+  CauseScope tag(builder_, CauseTag::kJsObjectGuards);
   builder_.MovImm(kScrMasked, 0);
   builder_.Cmov(kScrMasked, obj, kScrCond);
   mitigation_instructions_ += 2;
@@ -54,6 +56,7 @@ uint8_t JsEmitter::HardenBase(uint8_t base) {
   // base' = predicate ? base : nullptr. The predicate register (kScrCond)
   // carries the most recent guard outcome, so every load's address waits on
   // it — which is exactly how SLH keeps speculative loads from issuing.
+  CauseScope tag(builder_, CauseTag::kJsOther);
   builder_.MovImm(kScrZero, 0);
   builder_.Cmov(kScrZero, base, kScrCond);
   mitigation_instructions_ += 2;
@@ -62,6 +65,7 @@ uint8_t JsEmitter::HardenBase(uint8_t base) {
 
 void JsEmitter::SlhPrologue() {
   if (config_.speculative_load_hardening) {
+    CauseScope tag(builder_, CauseTag::kJsOther);
     builder_.MovImm(kScrCond, 1);  // predicate starts "not misspeculating"
   }
 }
@@ -127,6 +131,7 @@ void JsEmitter::LoadHeapPtr(uint8_t dst, uint8_t base, int64_t disp) {
   builder_.Load(dst, MemRef{.base = use_base, .disp = disp});
   if (config_.pointer_poisoning) {
     // Unpoison: an ALU dependency on every pointer chase.
+    CauseScope tag(builder_, CauseTag::kJsOther);
     builder_.AluImm(AluOp::kXor, dst, dst, static_cast<int64_t>(kJsPointerPoison));
     mitigation_instructions_++;
   }

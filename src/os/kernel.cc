@@ -123,8 +123,12 @@ void Kernel::EmitProtectedIndirectCall(uint8_t target_reg) {
       builder_.IndirectCall(target_reg);
       break;
     case RetpolineMode::kAmd:
-      // Paper Figure 4: lfence; call *%r11.
-      builder_.Lfence();
+      // Paper Figure 4: lfence; call *%r11. The fence is the mitigation;
+      // the dispatch itself is baseline work.
+      {
+        CauseScope tag(builder_, CauseTag::kSpectreV2);
+        builder_.Lfence();
+      }
       builder_.IndirectCall(target_reg);
       break;
     case RetpolineMode::kGeneric:
@@ -136,6 +140,9 @@ void Kernel::EmitProtectedIndirectCall(uint8_t target_reg) {
 void Kernel::EmitRetpolineThunk() {
   // Paper Figure 4, transcribed: the ret speculates to the pause/lfence spin
   // via the RSB while architecturally jumping to the target in kTarget.
+  // The whole thunk is Spectre V2 mitigation code; the call site that enters
+  // it stays baseline (it replaces the plain indirect call).
+  CauseScope tag(builder_, CauseTag::kSpectreV2);
   retpoline_thunk_label_ = builder_.NewLabel();
   Label setup = builder_.NewLabel();
   Label spin = builder_.NewLabel();
@@ -173,13 +180,16 @@ void Kernel::EmitEntryPath() {
   builder_.BindSymbol("syscall_entry");
   builder_.Swapgs();
   if (config_.lfence_after_swapgs) {
+    CauseScope tag(builder_, CauseTag::kSpectreV1);
     builder_.Lfence();
   }
   if (config_.pti) {
+    CauseScope tag(builder_, CauseTag::kPti);
     builder_.Load(kScr9, MemRef{.disp = static_cast<int64_t>(kPercpuVaddr + kPercpuKernelCr3)});
     builder_.MovCr3(kScr9);
   }
   if (config_.ibrs == IbrsMode::kLegacyIbrs) {
+    CauseScope tag(builder_, CauseTag::kSpectreV2);
     builder_.Load(kScr9,
                   MemRef{.disp = static_cast<int64_t>(kPercpuVaddr + kPercpuSpecCtrlEntry)});
     builder_.Wrmsr(kMsrSpecCtrl, kScr9);
@@ -191,6 +201,7 @@ void Kernel::EmitEntryPath() {
   // Dispatch. Spectre V1 hardening clamps the table index with a cmov
   // barrier (the "array index masking" pattern).
   if (config_.kernel_index_masking) {
+    CauseScope tag(builder_, CauseTag::kSpectreV1);
     builder_.MovImm(kScr8, 0);
     builder_.AluImm(AluOp::kCmpGe, kScr9, kSysNr, kMaxSyscalls);
     builder_.Cmov(kSysNr, kScr8, kScr9);
@@ -210,14 +221,17 @@ void Kernel::EmitExitPath() {
     builder_.Load(r, MemRef{.base = kRegSp, .disp = -8 * (r + 1)});
   }
   if (config_.ibrs == IbrsMode::kLegacyIbrs) {
+    CauseScope tag(builder_, CauseTag::kSpectreV2);
     builder_.Load(kScr9,
                   MemRef{.disp = static_cast<int64_t>(kPercpuVaddr + kPercpuSpecCtrlExit)});
     builder_.Wrmsr(kMsrSpecCtrl, kScr9);
   }
   if (config_.mds_clear_buffers) {
+    CauseScope tag(builder_, CauseTag::kMds);
     builder_.Verw();
   }
   if (config_.pti) {
+    CauseScope tag(builder_, CauseTag::kPti);
     builder_.Load(kScr9, MemRef{.disp = static_cast<int64_t>(kPercpuVaddr + kPercpuUserCr3)});
     builder_.MovCr3(kScr9);
   }
@@ -270,6 +284,9 @@ void Kernel::EmitStandardHandlers() {
   EmitKernelWorkLoop(60);  // scheduler pick_next / runqueue work
   builder_.Kcall(kKcallSwitch);
   if (config_.eager_fpu) {
+    // Eager FPU state switching (the LazyFP mitigation); the lazy path pays
+    // an equivalent trap cost on first use, charged untagged in the hook.
+    CauseScope tag(builder_, CauseTag::kOther);
     builder_.Xsave();
     builder_.Xrstor();
   }
@@ -277,6 +294,7 @@ void Kernel::EmitStandardHandlers() {
   // incoming process opted into protection, e.g. via seccomp); it happens in
   // the switch hook, not unconditionally here.
   if (config_.rsb_stuff_on_context_switch) {
+    CauseScope tag(builder_, CauseTag::kSpectreV2);
     builder_.RsbStuff();
   }
   builder_.Load(kScr9, MemRef{.disp = static_cast<int64_t>(kPercpuVaddr + kPercpuKernelCr3)});
@@ -495,7 +513,7 @@ void Kernel::ContextSwitchTo(Process& next) {
   // processes that asked for protection (seccomp/prctl) — which is why
   // ordinary benchmark processes do not pay the Table 6 cost on switches.
   if (config_.ibpb_on_context_switch && (next.uses_seccomp || next.ssbd_prctl)) {
-    machine_->AddCycles(cpu_.latency.ibpb);
+    machine_->AddCycles(cpu_.latency.ibpb, CauseTag::kSpectreV2);
     machine_->btb().FlushAll();
   }
   current_pid_ = next.pid;
@@ -516,8 +534,10 @@ bool Kernel::HandlePageFault(uint64_t vaddr) {
       }
       page_faults_++;
       // A fault is a full boundary crossing plus handler work; the boundary
-      // part mirrors the syscall entry/exit mitigation sequence.
-      machine_->AddCycles(BoundaryCrossingCost() + 1500);
+      // part mirrors the syscall entry/exit mitigation sequence and is
+      // charged per-cause so attribution sees faults like real crossings.
+      ChargeBoundaryCrossing();
+      machine_->AddCycles(1500);
       return true;
     }
   }
@@ -699,6 +719,54 @@ uint64_t Kernel::BoundaryCrossingCost() const {
     cost += 3;
   }
   return cost;
+}
+
+void Kernel::ChargeBoundaryCrossing() {
+  // The same cost model as BoundaryCrossingCost(), split by the mitigation
+  // that owns each term so CycleAttribution sees page faults the way it sees
+  // real syscall crossings. The per-cause charges sum exactly to
+  // BoundaryCrossingCost() (os_kernel_test cross-checks this).
+  const LatencyTable& lat = cpu_.latency;
+  uint64_t baseline = lat.syscall + lat.sysret + 2 * lat.swapgs;
+  uint64_t v1 = 0, v2 = 0, pti = 0, mds = 0;
+  if (config_.lfence_after_swapgs) {
+    v1 += lat.lfence;
+  }
+  if (config_.pti) {
+    pti += 2 * lat.swap_cr3;
+  }
+  if (config_.mds_clear_buffers) {
+    mds += cpu_.vuln.mds ? lat.verw_clear : lat.verw_legacy;
+  }
+  if (config_.ibrs == IbrsMode::kLegacyIbrs) {
+    v2 += 2 * lat.wrmsr_spec_ctrl;
+  }
+  switch (config_.retpoline) {
+    case RetpolineMode::kNone:
+      baseline += lat.indirect_predicted;
+      break;
+    case RetpolineMode::kAmd:
+      v2 += lat.lfence;
+      baseline += lat.indirect_predicted;
+      break;
+    case RetpolineMode::kGeneric: {
+      // The thunk replaces a plain predicted dispatch: charge what the
+      // unmitigated dispatch would have cost to baseline and the rest to V2.
+      const uint64_t total = 7 + lat.mispredict_penalty;
+      const uint64_t base = std::min<uint64_t>(lat.indirect_predicted, total);
+      baseline += base;
+      v2 += total - base;
+      break;
+    }
+  }
+  if (config_.kernel_index_masking) {
+    v1 += 3;
+  }
+  machine_->AddCycles(baseline, CauseTag::kNone);
+  machine_->AddCycles(v1, CauseTag::kSpectreV1);
+  machine_->AddCycles(v2, CauseTag::kSpectreV2);
+  machine_->AddCycles(pti, CauseTag::kPti);
+  machine_->AddCycles(mds, CauseTag::kMds);
 }
 
 }  // namespace specbench

@@ -143,6 +143,9 @@ class Kernel {
   // (page faults). Mirrors the mitigation work the IR entry/exit paths do;
   // cross-checked against the measured null syscall in tests.
   uint64_t BoundaryCrossingCost() const;
+  // Charges BoundaryCrossingCost() to the machine, decomposed per CauseTag
+  // (the per-cause charges sum exactly to BoundaryCrossingCost()).
+  void ChargeBoundaryCrossing();
 
   // Number of faults serviced (page-fault benchmark instrumentation).
   uint64_t page_faults() const { return page_faults_; }

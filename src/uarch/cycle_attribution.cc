@@ -1,0 +1,61 @@
+#include "src/uarch/cycle_attribution.h"
+
+#include "src/util/check.h"
+
+namespace specbench {
+
+void CycleAttribution::OnEvent(const UarchEvent& event) {
+  switch (event.kind) {
+    case EventKind::kIssue:
+      if (event.op == Op::kRdtsc) {
+        snapshots_.push_back(totals_);
+      }
+      break;
+    case EventKind::kRetire:
+      retired_++;
+      Charge(event.cause, event.cycles);
+      break;
+    case EventKind::kSerializationStall:
+      if (event.cause == CauseTag::kNone) {
+        untagged_stall_cycles_ += event.cycles;
+      }
+      Charge(event.cause, event.cycles);
+      break;
+    case EventKind::kExternalCharge:
+      external_cycles_ += event.cycles;
+      Charge(event.cause, event.cycles);
+      break;
+    case EventKind::kEpisodeStart:
+      episodes_++;
+      break;
+    case EventKind::kEpisodeEnd:
+      episode_divider_cycles_ += event.arg;
+      break;
+    case EventKind::kCacheFill:
+      cache_fills_++;
+      break;
+    case EventKind::kFillBufferTouch:
+      fill_buffer_touches_++;
+      break;
+    case EventKind::kTlbFlush:
+      tlb_flushes_++;
+      break;
+    case EventKind::kStoreBufferDrain:
+      store_buffer_drains_ += event.arg;
+      break;
+  }
+}
+
+void CycleAttribution::Reset() { *this = CycleAttribution(); }
+
+uint64_t CycleAttribution::WindowTotalCycles() const {
+  SPECBENCH_CHECK_MSG(HasWindow(), "attribution window needs two rdtsc marks");
+  return snapshots_.back().total_cycles - snapshots_.front().total_cycles;
+}
+
+uint64_t CycleAttribution::WindowCauseCycles(CauseTag tag) const {
+  SPECBENCH_CHECK_MSG(HasWindow(), "attribution window needs two rdtsc marks");
+  return snapshots_.back().Cause(tag) - snapshots_.front().Cause(tag);
+}
+
+}  // namespace specbench

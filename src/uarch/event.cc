@@ -1,0 +1,21 @@
+#include "src/uarch/event.h"
+
+namespace specbench {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kIssue: return "issue";
+    case EventKind::kRetire: return "retire";
+    case EventKind::kEpisodeStart: return "episode_start";
+    case EventKind::kEpisodeEnd: return "episode_end";
+    case EventKind::kCacheFill: return "cache_fill";
+    case EventKind::kFillBufferTouch: return "fill_buffer_touch";
+    case EventKind::kTlbFlush: return "tlb_flush";
+    case EventKind::kSerializationStall: return "serialization_stall";
+    case EventKind::kStoreBufferDrain: return "store_buffer_drain";
+    case EventKind::kExternalCharge: return "external_charge";
+  }
+  return "?";
+}
+
+}  // namespace specbench

@@ -1,0 +1,101 @@
+// The uarch event bus: typed events from the pipeline components, tagged
+// with the mitigation (or hazard) that charged the cycles.
+//
+// The bus is the coordination layer of the decomposed machine
+// (docs/uarch.md): the frontend, execute/scoreboard, memory-subsystem and
+// speculative-episode components publish what happened and *why* — every
+// event carries a CauseTag identifying the mitigation that owns the cost —
+// and sinks like CycleAttribution (src/uarch/cycle_attribution.h) fold the
+// stream into first-class per-mitigation cycle breakdowns.
+//
+// Dispatch is free when nobody listens: emission sites guard on the cached
+// `active()` bool (a single predictable branch), so the simulator's hot loop
+// pays nothing for the bus until a sink subscribes (the satellite perf-smoke
+// test in tests/uarch_event_test.cc enforces this).
+#ifndef SPECTREBENCH_SRC_UARCH_EVENT_H_
+#define SPECTREBENCH_SRC_UARCH_EVENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace specbench {
+
+enum class EventKind : uint8_t {
+  kIssue,              // an instruction entered execution
+  kRetire,             // it committed; `cycles` = issue-clock advance charged
+                       // to its cause (net of stalls reported separately)
+  kEpisodeStart,       // a speculative episode began (arg = wrong-path index)
+  kEpisodeEnd,         // it was squashed (arg = divider-active cycles inside)
+  kCacheFill,          // a miss filled a line (arg = paddr)
+  kFillBufferTouch,    // fill buffers written / sampled / cleared
+  kTlbFlush,           // full or ASID TLB flush (arg = asid, ~0 for all)
+  kSerializationStall, // issue waited: fences, SSBD discipline, eIBRS scrub,
+                       // ROB backpressure (`cycles` = stall length)
+  kStoreBufferDrain,   // entries forced to memory (arg = count)
+  kExternalCharge,     // cycles charged outside instruction execution
+                       // (AddCycles: OS handler work, IBPB on switch, ...)
+};
+
+const char* EventKindName(EventKind kind);
+
+struct UarchEvent {
+  EventKind kind = EventKind::kIssue;
+  CauseTag cause = CauseTag::kNone;  // who pays for `cycles`
+  Op op = Op::kNop;                  // issuing/retiring opcode (issue/retire)
+  Mode mode = Mode::kUser;
+  int32_t index = -1;                // program index (-1 when not tied to one)
+  uint64_t cycle = 0;                // issue clock when the event fired
+  uint64_t cycles = 0;               // cycles charged by this event (may be 0)
+  uint64_t arg = 0;                  // kind-specific payload (see EventKind)
+};
+
+// Subscriber interface. OnEvent must not mutate machine state; events are
+// observation only (timing is identical with or without sinks attached).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const UarchEvent& event) = 0;
+};
+
+// Fan-out with a cached has-subscribers fast path. Emission sites are
+// expected to check `active()` before building an event, so the unsubscribed
+// cost is one branch on a bool — never a virtual call or an allocation.
+class EventBus {
+ public:
+  bool active() const { return active_; }
+
+  void AddSink(EventSink* sink) {
+    if (sink == nullptr) {
+      return;
+    }
+    sinks_.push_back(sink);
+    active_ = true;
+  }
+
+  void RemoveSink(EventSink* sink) {
+    for (std::size_t i = 0; i < sinks_.size(); i++) {
+      if (sinks_[i] == sink) {
+        sinks_.erase(sinks_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    active_ = !sinks_.empty();
+  }
+
+  void Emit(const UarchEvent& event) const {
+    for (EventSink* sink : sinks_) {
+      sink->OnEvent(event);
+    }
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+  bool active_ = false;
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_EVENT_H_

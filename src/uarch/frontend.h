@@ -1,0 +1,70 @@
+// Frontend / prediction unit of the decomposed machine.
+//
+// Owns everything the fetch side consults before an instruction executes:
+// the BTB, the return stack buffer, the conditional predictor, and the
+// call-site history that feeds BHB-indexed BTBs (Zen 3 policy). The unit is
+// a plain aggregate on purpose — the Machine drives it; sharing it between
+// SMT siblings (the contended core resource) is what makes cross-thread
+// Spectre V2 training possible.
+#ifndef SPECTREBENCH_SRC_UARCH_FRONTEND_H_
+#define SPECTREBENCH_SRC_UARCH_FRONTEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cpu/cpu_model.h"
+#include "src/uarch/predictors.h"
+
+namespace specbench {
+
+struct FrontendUnit {
+  explicit FrontendUnit(const PredictorPolicy& policy)
+      : btb(policy), rsb(policy.rsb_depth) {}
+
+  Btb btb;
+  Rsb rsb;
+  CondPredictor cond;
+  // Committed call sites, newest last; bounded so deep recursion does not
+  // grow it without bound.
+  std::vector<uint64_t> call_site_stack;
+  // Kernel entries since boot; drives the periodic eIBRS BTB scrub.
+  uint64_t kernel_entry_counter = 0;
+
+  void PushCallSite(uint64_t pc) {
+    call_site_stack.push_back(pc);
+    if (call_site_stack.size() > 64) {
+      call_site_stack.erase(call_site_stack.begin());
+    }
+  }
+  void PopCallSite() {
+    if (!call_site_stack.empty()) {
+      call_site_stack.pop_back();
+    }
+  }
+
+  // Branch-history hash over the most recent (up to two) call sites; the
+  // BHB-flavoured context tag for BTB lookups. Also used by the speculative
+  // episode engine on its private call-site copy.
+  static uint64_t ContextHash(const std::vector<uint64_t>& sites) {
+    uint64_t ctx = 0x9e3779b97f4a7c15ULL;
+    const size_t depth = sites.size();
+    for (size_t i = depth > 2 ? depth - 2 : 0; i < depth; i++) {
+      ctx = Mix(ctx ^ sites[i]);
+    }
+    return ctx;
+  }
+
+  uint64_t CallerContext() const { return ContextHash(call_site_stack); }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_FRONTEND_H_

@@ -1,45 +1,86 @@
+// Machine core: construction, architectural-state access, mitigation-policy
+// recompilation, timing primitives, run loop and the per-step dispatch into
+// the pipeline-component translation units (see machine.h for the map).
 #include "src/uarch/machine.h"
 
 #include <algorithm>
 
+#include "src/uarch/machine_internal.h"
 #include "src/util/check.h"
 
 namespace specbench {
 
 namespace {
 
-// Page-walk cost charged on a TLB miss.
-constexpr uint32_t kTlbWalkCycles = 24;
-// Store-to-load forwarding latency.
-constexpr uint32_t kForwardLatency = 5;
-// Cycles after issue until a store's *address* is known (data takes the
-// CPU-specific store_resolve_delay).
-constexpr uint32_t kAddrResolveDelay = 3;
-// Minimum wrong-path window even when a branch condition resolves instantly.
-constexpr uint64_t kMinSpecWindow = 2;
-// Sentinel readiness for values that never materialize inside an episode.
-constexpr uint64_t kNeverReady = ~UINT64_C(0) / 2;
+// Which pipeline component executes an opcode (see Step()).
+enum class StepClass : uint8_t { kCompute, kMemory, kBranch, kSystem };
 
-uint64_t HashMix64(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  return x;
+StepClass ClassOf(Op op) {
+  switch (op) {
+    case Op::kNop:
+    case Op::kMovImm:
+    case Op::kMov:
+    case Op::kAlu:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kCmov:
+    case Op::kLea:
+    case Op::kPause:
+    case Op::kRdtsc:
+    case Op::kRdpmc:
+    case Op::kFpOp:
+    case Op::kFpToGp:
+    case Op::kGpToFp:
+      return StepClass::kCompute;
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kClflush:
+      return StepClass::kMemory;
+    case Op::kJmp:
+    case Op::kBranchNz:
+    case Op::kBranchZ:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kIndirectJmp:
+    case Op::kIndirectCall:
+      return StepClass::kBranch;
+    case Op::kLfence:
+    case Op::kMfence:
+    case Op::kSyscall:
+    case Op::kSysret:
+    case Op::kSwapgs:
+    case Op::kMovCr3:
+    case Op::kVerw:
+    case Op::kWrmsr:
+    case Op::kRdmsr:
+    case Op::kFlushL1d:
+    case Op::kRsbStuff:
+    case Op::kXsave:
+    case Op::kXrstor:
+    case Op::kCpuid:
+    case Op::kVmEnter:
+    case Op::kVmExit:
+    case Op::kKcall:
+    case Op::kHalt:
+      return StepClass::kSystem;
+  }
+  return StepClass::kSystem;
 }
 
 }  // namespace
 
 Machine::Machine(const CpuModel& cpu)
     : cpu_(cpu),
-      caches_(cpu),
-      tlb_(cpu.tlb_entries, 4),
-      btb_(cpu.predictor),
-      rsb_(cpu.predictor.rsb_depth),
-      cond_predictor_(),
-      fill_buffers_(cpu.fill_buffer_entries),
-      store_buffer_(),
+      frontend_(cpu.predictor),
+      mem_(cpu),
       pcid_enabled_(cpu.pcid_supported) {
   memory_map_ = &identity_map_;
+  RecompileEffects();
+}
+
+void Machine::RecompileEffects() {
+  effects_ = MitigationEffects::Compile(cpu_, msr_spec_ctrl_, stibp_active_,
+                                        smt_thread_id_, pcid_enabled_);
 }
 
 void Machine::LoadProgram(const Program* program) {
@@ -77,7 +118,7 @@ void Machine::SetFpReg(uint8_t index, uint64_t value) {
 }
 
 void Machine::SetSsbd(bool active) {
-  if (!cpu_.vuln.spec_store_bypass) {
+  if (!MitigationEffects::SsbdAvailable(cpu_)) {
     // SSB_NO silicon: the bypass does not exist, so neither does SSBD.
     active = false;
   }
@@ -86,28 +127,30 @@ void Machine::SetSsbd(bool active) {
   } else {
     msr_spec_ctrl_ &= ~kSpecCtrlSsbd;
   }
+  RecompileEffects();
 }
 
 void Machine::SetIbrs(bool active) {
-  if (active && cpu_.predictor.ibrs_supported) {
+  if (active && MitigationEffects::IbrsAvailable(cpu_)) {
     msr_spec_ctrl_ |= kSpecCtrlIbrs;
   } else {
     msr_spec_ctrl_ &= ~kSpecCtrlIbrs;
   }
+  RecompileEffects();
 }
 
 uint64_t Machine::PeekData(uint64_t vaddr) {
   DrainStoreBuffer();
   const Translation t = memory_map_->Translate(vaddr, cr3_, Mode::kKernel);
   SPECBENCH_CHECK_MSG(t.mapped, "PeekData of unmapped address");
-  return memory_.Read(t.paddr);
+  return mem_.memory.Read(t.paddr);
 }
 
 void Machine::PokeData(uint64_t vaddr, uint64_t value) {
   DrainStoreBuffer();
   const Translation t = memory_map_->Translate(vaddr, cr3_, Mode::kKernel);
   SPECBENCH_CHECK_MSG(t.mapped, "PokeData of unmapped address");
-  memory_.Write(t.paddr, value);
+  mem_.memory.Write(t.paddr, value);
 }
 
 uint64_t Machine::cycles() const { return std::max(now_, retire_frontier_); }
@@ -124,9 +167,14 @@ uint64_t Machine::PmcValue(Pmc counter) const {
 
 void Machine::ResetPmcs() { pmcs_.fill(0); }
 
-void Machine::AddCycles(uint64_t cycles) {
+void Machine::AddCycles(uint64_t cycles, CauseTag cause) {
   Serialize();
   now_ += cycles;
+  if (bus_.active() && cycles > 0) {
+    step_tagged_cycles_ += cycles;
+    bus_.Emit(UarchEvent{EventKind::kExternalCharge, cause, Op::kKcall, mode_,
+                         -1, now_, cycles, 0});
+  }
 }
 
 void Machine::DrainPipeline() {
@@ -135,496 +183,41 @@ void Machine::DrainPipeline() {
 }
 
 void Machine::DrainStoreBuffer() {
-  for (const auto& entry : store_buffer_.DrainAll()) {
+  const auto drained = mem_.store_buffer.DrainAll();
+  for (const auto& entry : drained) {
     ApplyStore(entry);
+  }
+  if (bus_.active() && !drained.empty()) {
+    bus_.Emit(UarchEvent{EventKind::kStoreBufferDrain, CauseTag::kNone,
+                         Op::kNop, mode_, -1, cycles(), 0, drained.size()});
   }
 }
 
-void Machine::Serialize() { now_ = std::max(now_, retire_frontier_); }
+void Machine::Serialize() {
+  if (retire_frontier_ > now_) {
+    if (bus_.active()) {
+      step_stall_cycles_ += retire_frontier_ - now_;
+    }
+    now_ = retire_frontier_;
+  }
+}
+
+void Machine::ChargeStall(uint64_t cycles, CauseTag cause) {
+  now_ += cycles;
+  if (bus_.active() && cycles > 0) {
+    step_tagged_cycles_ += cycles;
+    bus_.Emit(UarchEvent{EventKind::kSerializationStall, cause, Op::kNop,
+                         mode_, -1, now_, cycles, 0});
+  }
+}
 
 void Machine::ApplyStore(const StoreBuffer::Entry& entry) {
-  memory_.Write(entry.paddr, entry.value);
+  mem_.memory.Write(entry.paddr, entry.value);
 }
 
 void Machine::DrainResolvedStores(uint64_t now) {
-  for (const auto& entry : store_buffer_.DrainResolved(now)) {
+  for (const auto& entry : mem_.store_buffer.DrainResolved(now)) {
     ApplyStore(entry);
-  }
-}
-
-uint64_t Machine::SourcesReadyAt(const Instruction& instr) const {
-  uint64_t ready = 0;
-  auto consider = [&](uint8_t r) {
-    if (r != kNoReg) {
-      ready = std::max(ready, ready_at_[r]);
-    }
-  };
-  switch (instr.op) {
-    case Op::kLoad:
-    case Op::kLea:
-    case Op::kClflush:
-      consider(instr.mem.base);
-      consider(instr.mem.index);
-      break;
-    case Op::kStore:
-      consider(instr.mem.base);
-      consider(instr.mem.index);
-      consider(instr.src1);
-      break;
-    case Op::kCmov:
-      consider(instr.dst);
-      consider(instr.src1);
-      consider(instr.src2);
-      break;
-    default:
-      consider(instr.src1);
-      if (!instr.use_imm) {
-        consider(instr.src2);
-      }
-      break;
-  }
-  return ready;
-}
-
-uint64_t Machine::EffectiveAddress(const Instruction& instr,
-                                   const std::array<uint64_t, kNumRegs>& regs) const {
-  uint64_t addr = static_cast<uint64_t>(instr.mem.disp);
-  if (instr.mem.base != kNoReg) {
-    addr += regs[instr.mem.base];
-  }
-  if (instr.mem.index != kNoReg) {
-    addr += regs[instr.mem.index] * instr.mem.scale;
-  }
-  return addr;
-}
-
-void Machine::WriteReg(uint8_t index, uint64_t value, uint64_t ready_at) {
-  SPECBENCH_CHECK(index < kNumRegs);
-  regs_[index] = value;
-  ready_at_[index] = ready_at;
-  retire_frontier_ = std::max(retire_frontier_, ready_at);
-}
-
-uint64_t Machine::AluCompute(AluOp op, uint64_t a, uint64_t b) const {
-  switch (op) {
-    case AluOp::kAdd: return a + b;
-    case AluOp::kSub: return a - b;
-    case AluOp::kAnd: return a & b;
-    case AluOp::kOr: return a | b;
-    case AluOp::kXor: return a ^ b;
-    case AluOp::kShl: return b >= 64 ? 0 : a << b;
-    case AluOp::kShr: return b >= 64 ? 0 : a >> b;
-    case AluOp::kCmpLt: return a < b ? 1 : 0;
-    case AluOp::kCmpGe: return a >= b ? 1 : 0;
-    case AluOp::kCmpEq: return a == b ? 1 : 0;
-    case AluOp::kCmpNe: return a != b ? 1 : 0;
-  }
-  return 0;
-}
-
-bool Machine::PredictionAllowed(Mode mode) const {
-  if (!ibrs_active()) {
-    return true;
-  }
-  if (cpu_.predictor.ibrs_blocks_all_prediction) {
-    // Legacy IBRS semantics (§6.2.1): no indirect prediction anywhere.
-    return false;
-  }
-  if (cpu_.predictor.eibrs && cpu_.predictor.eibrs_blocks_kernel_prediction &&
-      IsKernelMode(mode)) {
-    return false;  // Ice Lake Client quirk (Table 10).
-  }
-  return true;
-}
-
-uint64_t Machine::caller_context() const {
-  uint64_t ctx = 0x9e3779b97f4a7c15ULL;
-  const size_t depth = call_site_stack_.size();
-  for (size_t i = depth > 2 ? depth - 2 : 0; i < depth; i++) {
-    ctx = HashMix64(ctx ^ call_site_stack_[i]);
-  }
-  return ctx;
-}
-
-uint64_t Machine::CommittedLoad(uint64_t vaddr, uint64_t issue_at, uint64_t* ready_at) {
-  Translation t = memory_map_->Translate(vaddr, cr3_, mode_);
-  if (!t.valid) {
-    // Architectural fault: defer to the OS hook; retried once if handled.
-    const bool handled = page_fault_hook_ && page_fault_hook_(*this, vaddr);
-    SPECBENCH_CHECK_MSG(handled, "unhandled page fault on committed load");
-    t = memory_map_->Translate(vaddr, cr3_, mode_);
-    SPECBENCH_CHECK_MSG(t.valid, "page fault hook did not map the page");
-    issue_at = std::max(issue_at, cycles());
-  }
-  uint64_t exec_at = issue_at;
-  if (!tlb_.Access(PageOf(vaddr), cr3_)) {
-    exec_at += kTlbWalkCycles;
-  }
-
-  DrainResolvedStores(exec_at);
-  const uint64_t paddr = t.paddr;
-  if (const StoreBuffer::Entry* entry = store_buffer_.FindNewest(paddr)) {
-    // The matching store is still unresolved at exec time.
-    if (ssbd_active()) {
-      // SSBD forbids speculatively bypassing the store: the load waits for
-      // the store's address to be known, then forwards, paying an extra
-      // per-CPU scheduling tax (the measurable cost of the mitigation).
-      // The wait occupies the load scheduler, so issue stalls by the same
-      // amount.
-      const uint64_t pre = exec_at;
-      exec_at = std::max(exec_at, entry->addr_resolve_at) + cpu_.latency.ssbd_forward_stall;
-      now_ += exec_at - pre;
-    }
-    *ready_at = exec_at + kForwardLatency;
-    return entry->value;
-  }
-  if (ssbd_active()) {
-    // Without forwarding speculation, a load cannot proceed past stores
-    // whose *addresses* are still unknown (data may resolve later).
-    const uint64_t addr_known = store_buffer_.LatestAddrResolveAt(exec_at);
-    if (addr_known > exec_at) {
-      now_ += addr_known - exec_at;
-      exec_at = addr_known;
-    }
-  }
-
-  const uint32_t latency = caches_.Access(paddr);
-  if (latency > caches_.l1().latency()) {
-    fill_buffers_.RecordFill(paddr, memory_.Read(paddr));
-  }
-  *ready_at = exec_at + latency;
-  return memory_.Read(paddr);
-}
-
-uint64_t Machine::SpeculativeLoad(uint64_t vaddr, uint64_t at,
-                                  const std::map<uint64_t, uint64_t>& spec_stores,
-                                  bool* completed) {
-  *completed = true;
-  pmcs_[static_cast<size_t>(Pmc::kSpeculativeLoads)]++;
-
-  // Younger speculative stores forward first.
-  if (auto it = spec_stores.find(AlignWord(vaddr)); it != spec_stores.end()) {
-    return it->second;
-  }
-
-  const Translation t = memory_map_->Translate(vaddr, cr3_, mode_);
-  if (!t.mapped) {
-    // No translation at all. On MDS-vulnerable parts the load "completes"
-    // with stale fill-buffer data (RIDL-style); otherwise it yields zero.
-    return cpu_.vuln.mds ? fill_buffers_.Sample(vaddr) : 0;
-  }
-  const uint64_t paddr = t.paddr;
-  if (!t.present) {
-    // L1 Terminal Fault: the present bit is ignored during speculation and
-    // the stale physical address hits in the L1 on vulnerable parts.
-    if (cpu_.vuln.l1tf && caches_.LevelOf(paddr) == 1) {
-      return memory_.Read(paddr);
-    }
-    return 0;
-  }
-  if (!t.user_accessible && mode_ == Mode::kUser) {
-    // Meltdown: vulnerable parts forward kernel data to transient uops.
-    if (cpu_.vuln.meltdown) {
-      const uint32_t latency = caches_.Access(paddr);
-      if (latency > caches_.l1().latency()) {
-        fill_buffers_.RecordFill(paddr, memory_.Read(paddr));
-      }
-      return memory_.Read(paddr);
-    }
-    return 0;
-  }
-
-  // Ordinary speculative access: check store bypass, then touch the caches —
-  // the persistent side effect that makes the cache a covert channel.
-  if (const StoreBuffer::Entry* entry = store_buffer_.FindNewest(paddr)) {
-    if (entry->resolve_at > at) {
-      if (ssbd_active() || !cpu_.vuln.spec_store_bypass) {
-        // SSBD (or SSB_NO silicon): no bypass; the load waits out the
-        // episode rather than reading stale memory.
-        *completed = false;
-        return 0;
-      }
-      // Speculative Store Bypass: read stale memory under the store.
-      caches_.Access(paddr);
-      return memory_.Read(paddr);
-    }
-    return entry->value;
-  }
-  const uint32_t latency = caches_.Access(paddr);
-  if (latency > caches_.l1().latency()) {
-    fill_buffers_.RecordFill(paddr, memory_.Read(paddr));
-  }
-  return memory_.Read(paddr);
-}
-
-void Machine::RunSpeculativeEpisode(int32_t index, uint64_t t0, uint64_t budget) {
-  if (index < 0 || program_ == nullptr || index >= program_->size()) {
-    return;
-  }
-  SpecRegs s{regs_, ready_at_};
-  std::map<uint64_t, uint64_t> spec_stores;
-  std::vector<uint64_t> spec_rsb = rsb_.Snapshot();
-  std::vector<uint64_t> spec_call_sites = call_site_stack_;
-
-  const uint64_t deadline = t0 + budget;
-  uint64_t t = t0;
-  int32_t idx = index;
-
-  while (t < deadline && idx >= 0 && idx < program_->size()) {
-    const Instruction& in = program_->at(idx);
-    pmcs_[static_cast<size_t>(Pmc::kSquashedUops)]++;
-    t++;
-
-    // Source readiness on the speculative timeline.
-    uint64_t srcs = 0;
-    auto consider = [&](uint8_t r) {
-      if (r != kNoReg) {
-        srcs = std::max(srcs, s.ready_at[r]);
-      }
-    };
-    switch (in.op) {
-      case Op::kLoad:
-      case Op::kLea:
-        consider(in.mem.base);
-        consider(in.mem.index);
-        break;
-      case Op::kStore:
-        consider(in.mem.base);
-        consider(in.mem.index);
-        consider(in.src1);
-        break;
-      case Op::kCmov:
-        consider(in.dst);
-        consider(in.src1);
-        consider(in.src2);
-        break;
-      default:
-        consider(in.src1);
-        if (!in.use_imm) {
-          consider(in.src2);
-        }
-        break;
-    }
-    const uint64_t exec_at = std::max(t, srcs);
-    const bool executable = exec_at < deadline;
-    auto spec_write = [&](uint8_t dst, uint64_t value, uint64_t ready) {
-      if (dst != kNoReg) {
-        s.value[dst] = value;
-        s.ready_at[dst] = ready;
-      }
-    };
-    auto mark_unready = [&](uint8_t dst) {
-      if (dst != kNoReg) {
-        s.ready_at[dst] = kNeverReady;
-      }
-    };
-
-    int32_t next = idx + 1;
-    switch (in.op) {
-      case Op::kNop:
-        break;
-      case Op::kMovImm:
-        spec_write(in.dst, static_cast<uint64_t>(in.imm), t);
-        break;
-      case Op::kMov:
-        if (executable) {
-          spec_write(in.dst, s.value[in.src1], exec_at + 1);
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      case Op::kAlu: {
-        if (executable) {
-          const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : s.value[in.src2];
-          spec_write(in.dst, AluCompute(in.alu, s.value[in.src1], b),
-                     exec_at + cpu_.latency.alu);
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      }
-      case Op::kMul: {
-        if (executable) {
-          const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : s.value[in.src2];
-          spec_write(in.dst, s.value[in.src1] * b, exec_at + cpu_.latency.mul);
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      }
-      case Op::kDiv: {
-        if (executable) {
-          const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : s.value[in.src2];
-          spec_write(in.dst, b == 0 ? 0 : s.value[in.src1] / b, exec_at + cpu_.latency.div);
-          // The observable the paper's probe keys on: speculatively executed
-          // divides keep the divider busy (§6.1).
-          pmcs_[static_cast<size_t>(Pmc::kArithDividerActive)] += cpu_.latency.div;
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      }
-      case Op::kCmov: {
-        // The index-masking barrier: the result waits on the condition, so
-        // dependent loads cannot issue until the bounds check resolves.
-        // Fusion hardware (§7) instead resolves immediately to the *safe*
-        // (condition-false) value when the guard is still unresolved, so
-        // dependents proceed without ever seeing unmasked data.
-        if (executable) {
-          const uint64_t value = s.value[in.src2] != 0 ? s.value[in.src1] : s.value[in.dst];
-          spec_write(in.dst, value, exec_at + 1);
-        } else if (cpu_.cmov_load_fusion) {
-          spec_write(in.dst, s.value[in.dst], t + 1);  // masked/safe default
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      }
-      case Op::kLea:
-        if (executable) {
-          spec_write(in.dst, EffectiveAddress(in, s.value), exec_at + 1);
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      case Op::kLoad: {
-        if (executable) {
-          bool completed = false;
-          const uint64_t vaddr = EffectiveAddress(in, s.value);
-          const uint64_t value = SpeculativeLoad(vaddr, exec_at, spec_stores, &completed);
-          if (completed) {
-            spec_write(in.dst, value, exec_at + caches_.l1().latency());
-          } else {
-            mark_unready(in.dst);
-          }
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      }
-      case Op::kStore:
-        if (executable) {
-          spec_stores[AlignWord(EffectiveAddress(in, s.value))] = s.value[in.src1];
-        }
-        break;
-      case Op::kJmp:
-        next = in.target;
-        break;
-      case Op::kBranchNz:
-      case Op::kBranchZ: {
-        // Nested branches follow the predictor; no nested squash modelling.
-        const uint64_t pc = program_->VaddrOf(idx);
-        const bool taken = cond_predictor_.Predict(pc);
-        next = taken ? in.target : idx + 1;
-        break;
-      }
-      case Op::kCall: {
-        const uint64_t ret_vaddr = program_->VaddrOf(idx + 1);
-        if (spec_rsb.size() == cpu_.predictor.rsb_depth) {
-          spec_rsb.erase(spec_rsb.begin());
-        }
-        spec_rsb.push_back(ret_vaddr);
-        spec_call_sites.push_back(program_->VaddrOf(idx));
-        spec_stores[AlignWord(s.value[kRegSp] - 8)] = ret_vaddr;
-        s.value[kRegSp] -= 8;
-        next = in.target;
-        break;
-      }
-      case Op::kRet: {
-        if (spec_rsb.empty()) {
-          return;  // no prediction: the speculative front end stalls
-        }
-        const uint64_t predicted = spec_rsb.back();
-        spec_rsb.pop_back();
-        if (!spec_call_sites.empty()) {
-          spec_call_sites.pop_back();
-        }
-        s.value[kRegSp] += 8;
-        const int32_t target = program_->IndexOf(predicted);
-        if (target < 0) {
-          return;  // stuffed/benign RSB entry: speculation goes nowhere
-        }
-        next = target;
-        break;
-      }
-      case Op::kIndirectJmp:
-      case Op::kIndirectCall: {
-        if (!PredictionAllowed(mode_)) {
-          return;
-        }
-        uint64_t ctx = 0x9e3779b97f4a7c15ULL;
-        const size_t depth = spec_call_sites.size();
-        for (size_t i = depth > 2 ? depth - 2 : 0; i < depth; i++) {
-          ctx = HashMix64(ctx ^ spec_call_sites[i]);
-        }
-        const Btb::Prediction pred =
-            btb_.Predict(program_->VaddrOf(idx), mode_, ctx,
-                         stibp_active_ ? smt_thread_id_ : 0);
-        if (!pred.hit) {
-          return;
-        }
-        if (in.op == Op::kIndirectCall) {
-          const uint64_t ret_vaddr = program_->VaddrOf(idx + 1);
-          if (spec_rsb.size() == cpu_.predictor.rsb_depth) {
-            spec_rsb.erase(spec_rsb.begin());
-          }
-          spec_rsb.push_back(ret_vaddr);
-          spec_call_sites.push_back(program_->VaddrOf(idx));
-          spec_stores[AlignWord(s.value[kRegSp] - 8)] = ret_vaddr;
-          s.value[kRegSp] -= 8;
-        }
-        const int32_t target = program_->IndexOf(pred.target);
-        if (target < 0) {
-          return;
-        }
-        next = target;
-        break;
-      }
-      case Op::kPause:
-        t++;  // costs an extra slot and nothing else
-        break;
-      case Op::kRdtsc:
-      case Op::kRdpmc:
-        spec_write(in.dst, t, t + 1);
-        break;
-      case Op::kFpToGp: {
-        if (!fpu_enabled_) {
-          // LazyFP: vulnerable parts forward the *stale* FP registers of the
-          // previous FPU owner to transient consumers.
-          spec_write(in.dst, cpu_.vuln.lazy_fp ? fpregs_[in.imm & (kNumFpRegs - 1)] : 0,
-                     exec_at + cpu_.latency.fp_op);
-        } else if (executable) {
-          spec_write(in.dst, fpregs_[in.imm & (kNumFpRegs - 1)], exec_at + cpu_.latency.fp_op);
-        } else {
-          mark_unready(in.dst);
-        }
-        break;
-      }
-      case Op::kClflush:
-      case Op::kGpToFp:
-      case Op::kFpOp:
-        break;  // no speculative side effects modelled
-      case Op::kLfence:
-      case Op::kMfence:
-      case Op::kSyscall:
-      case Op::kSysret:
-      case Op::kSwapgs:
-      case Op::kMovCr3:
-      case Op::kVerw:
-      case Op::kWrmsr:
-      case Op::kRdmsr:
-      case Op::kFlushL1d:
-      case Op::kRsbStuff:
-      case Op::kXsave:
-      case Op::kXrstor:
-      case Op::kCpuid:
-      case Op::kVmEnter:
-      case Op::kVmExit:
-      case Op::kKcall:
-      case Op::kHalt:
-        return;  // serializing: speculation cannot proceed past these
-    }
-    idx = next;
   }
 }
 
@@ -681,500 +274,73 @@ void Machine::RestoreContext(const ThreadContext& context) {
   fpu_enabled_ = context.fpu_enabled;
   msr_spec_ctrl_ = context.msr_spec_ctrl;
   saved_user_rip_ = context.saved_user_rip;
+  RecompileEffects();
 }
 
 void Machine::Step() {
   SPECBENCH_CHECK(rip_ >= 0 && rip_ < program_->size());
   const Instruction& in = program_->at(rip_);
   const uint64_t pc = program_->VaddrOf(rip_);
+  const int32_t index = rip_;
   instructions_++;
-  if (trace_hook_) {
+  if (has_trace_hook_) {
     trace_hook_(TraceRecord{rip_, pc, in.op, mode_, cycles()});
+  }
+
+  // Cycle accounting is armed only while a sink listens; with the bus idle
+  // the whole block is one predictable branch.
+  const bool accounting = bus_.active();
+  uint64_t step_start_now = 0;
+  if (accounting) {
+    step_start_now = now_;
+    step_stall_cycles_ = 0;
+    step_tagged_cycles_ = 0;
+    bus_.Emit(UarchEvent{EventKind::kIssue, in.cause, in.op, mode_, index,
+                         cycles(), 0, 0});
   }
 
   // ROB backpressure: issue may run at most one speculation window ahead of
   // completion.
   if (retire_frontier_ > now_ + cpu_.speculation_window) {
-    now_ = retire_frontier_ - cpu_.speculation_window;
+    const uint64_t target = retire_frontier_ - cpu_.speculation_window;
+    if (accounting) {
+      step_stall_cycles_ += target - now_;
+    }
+    now_ = target;
   }
 
-  int32_t next = rip_ + 1;
   const uint64_t srcs_ready = SourcesReadyAt(in);
-
-  switch (in.op) {
-    case Op::kNop:
-      now_++;
+  int32_t next = rip_ + 1;
+  switch (ClassOf(in.op)) {
+    case StepClass::kCompute:
+      next = StepCompute(in, srcs_ready);
       break;
-    case Op::kMovImm:
-      WriteReg(in.dst, static_cast<uint64_t>(in.imm), now_ + 1);
-      now_++;
+    case StepClass::kMemory:
+      next = StepMemory(in, srcs_ready);
       break;
-    case Op::kMov: {
-      const uint64_t start = std::max(now_, srcs_ready);
-      WriteReg(in.dst, regs_[in.src1], start + 1);
-      now_++;
+    case StepClass::kBranch:
+      next = StepBranch(in, pc, srcs_ready);
       break;
-    }
-    case Op::kAlu: {
-      const uint64_t start = std::max(now_, srcs_ready);
-      const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : regs_[in.src2];
-      uint64_t value = AluCompute(in.alu, regs_[in.src1], b);
-      if (alu_fault_countdown_ > 0 && --alu_fault_countdown_ == 0) {
-        value ^= 1;  // injected fault (InjectAluFaultForTesting)
-      }
-      WriteReg(in.dst, value, start + cpu_.latency.alu);
-      now_++;
-      break;
-    }
-    case Op::kMul: {
-      const uint64_t start = std::max(now_, srcs_ready);
-      const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : regs_[in.src2];
-      WriteReg(in.dst, regs_[in.src1] * b, start + cpu_.latency.mul);
-      now_++;
-      break;
-    }
-    case Op::kDiv: {
-      const uint64_t start = std::max(now_, srcs_ready);
-      const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : regs_[in.src2];
-      WriteReg(in.dst, b == 0 ? 0 : regs_[in.src1] / b, start + cpu_.latency.div);
-      pmcs_[static_cast<size_t>(Pmc::kArithDividerActive)] += cpu_.latency.div;
-      now_++;
-      break;
-    }
-    case Op::kCmov: {
-      // With cmov+load fusion (§7's hardware proposal) the masking pattern
-      // stops serializing on the guard condition: hardware resolves the safe
-      // value without stalling dependents. Architectural semantics are
-      // unchanged.
-      const uint64_t value = regs_[in.src2] != 0 ? regs_[in.src1] : regs_[in.dst];
-      if (cpu_.cmov_load_fusion) {
-        // Fused with the downstream load: no issue slot, no wait on the
-        // guard condition (hardware applies the mask inside the load).
-        const uint64_t start = std::max({now_, ready_at_[in.src1], ready_at_[in.dst]});
-        WriteReg(in.dst, value, start);
-      } else {
-        const uint64_t start = std::max(now_, srcs_ready);
-        WriteReg(in.dst, value, start + 1);
-        now_++;
-      }
-      break;
-    }
-    case Op::kLea: {
-      const uint64_t start = std::max(now_, srcs_ready);
-      WriteReg(in.dst, EffectiveAddress(in, regs_), start + 1);
-      now_++;
-      break;
-    }
-    case Op::kLoad: {
-      const uint64_t issue_at = std::max(now_, srcs_ready);
-      uint64_t ready_at = issue_at;
-      const uint64_t vaddr = EffectiveAddress(in, regs_);
-      const uint64_t value = CommittedLoad(vaddr, issue_at, &ready_at);
-      WriteReg(in.dst, value, ready_at);
-      now_++;
-      break;
-    }
-    case Op::kStore: {
-      // A store's address resolves as soon as its address registers are
-      // ready; the data may arrive much later. SSBD-disciplined loads only
-      // need the *address* (to rule out aliasing), so the two are tracked
-      // separately.
-      uint64_t addr_ready = now_;
-      if (in.mem.base != kNoReg) {
-        addr_ready = std::max(addr_ready, ready_at_[in.mem.base]);
-      }
-      if (in.mem.index != kNoReg) {
-        addr_ready = std::max(addr_ready, ready_at_[in.mem.index]);
-      }
-      const uint64_t issue_at = std::max(now_, srcs_ready);
-      const uint64_t vaddr = EffectiveAddress(in, regs_);
-      Translation t = memory_map_->Translate(vaddr, cr3_, mode_);
-      if (!t.valid) {
-        const bool handled = page_fault_hook_ && page_fault_hook_(*this, vaddr);
-        SPECBENCH_CHECK_MSG(handled, "unhandled page fault on committed store");
-        t = memory_map_->Translate(vaddr, cr3_, mode_);
-        SPECBENCH_CHECK_MSG(t.valid, "page fault hook did not map the page");
-      }
-      if (!tlb_.Access(PageOf(vaddr), cr3_)) {
-        now_ += kTlbWalkCycles;
-      }
-      const uint64_t paddr = t.paddr;
-      caches_.Access(paddr);
-      DrainResolvedStores(issue_at);
-      for (const auto& drained :
-           store_buffer_.Push(paddr, regs_[in.src1],
-                              issue_at + cpu_.latency.store_resolve_delay,
-                              addr_ready + kAddrResolveDelay)) {
-        ApplyStore(drained);
-      }
-      now_++;
-      break;
-    }
-    case Op::kJmp:
-      next = in.target;
-      now_ += cpu_.latency.branch_base;
-      break;
-    case Op::kBranchNz:
-    case Op::kBranchZ: {
-      const uint64_t resolve_at = std::max(now_, srcs_ready);
-      const bool value_nz = regs_[in.src1] != 0;
-      const bool taken = in.op == Op::kBranchNz ? value_nz : !value_nz;
-      const bool predicted_taken = cond_predictor_.Predict(pc);
-      cond_predictor_.Train(pc, taken);
-      if (predicted_taken == taken) {
-        now_ += cpu_.latency.branch_base;
-      } else {
-        // Wrong path: executes from the predicted direction until the
-        // condition resolves (bounded by the speculation window).
-        const uint64_t budget =
-            std::clamp<uint64_t>(resolve_at > now_ ? resolve_at - now_ + kMinSpecWindow
-                                                   : kMinSpecWindow,
-                                 kMinSpecWindow, cpu_.speculation_window);
-        RunSpeculativeEpisode(predicted_taken ? in.target : rip_ + 1, now_, budget);
-        now_ = std::max(now_, resolve_at) + cpu_.latency.mispredict_penalty;
-      }
-      next = taken ? in.target : rip_ + 1;
-      break;
-    }
-    case Op::kCall: {
-      const uint64_t ret_vaddr = program_->VaddrOf(rip_ + 1);
-      rsb_.Push(ret_vaddr);
-      call_site_stack_.push_back(pc);
-      if (call_site_stack_.size() > 64) {
-        call_site_stack_.erase(call_site_stack_.begin());
-      }
-      // Push the return address through the store buffer (this is what a
-      // retpoline overwrites).
-      const uint64_t sp = regs_[kRegSp] - 8;
-      WriteReg(kRegSp, sp, std::max(now_, ready_at_[kRegSp]) + 1);
-      const Translation t = memory_map_->Translate(sp, cr3_, mode_);
-      SPECBENCH_CHECK_MSG(t.valid, "call with unmapped stack");
-      DrainResolvedStores(now_);
-      for (const auto& drained :
-           store_buffer_.Push(t.paddr, ret_vaddr,
-                              now_ + cpu_.latency.store_resolve_delay,
-                              now_ + kAddrResolveDelay)) {
-        ApplyStore(drained);
-      }
-      next = in.target;
-      now_ += cpu_.latency.branch_base;
-      break;
-    }
-    case Op::kRet: {
-      const uint64_t sp = regs_[kRegSp];
-      uint64_t ready_at = now_;
-      const uint64_t actual = CommittedLoad(sp, std::max(now_, ready_at_[kRegSp]), &ready_at);
-      WriteReg(kRegSp, sp + 8, std::max(now_, ready_at_[kRegSp]) + 1);
-      if (!call_site_stack_.empty()) {
-        call_site_stack_.pop_back();
-      }
-      const Rsb::Prediction pred = rsb_.Pop();
-      if (pred.hit && pred.target == actual) {
-        now_ += cpu_.latency.branch_base + 1;
-      } else if (pred.hit) {
-        // RSB top does not match the (possibly overwritten) return address:
-        // the retpoline case. Speculation runs at the stale RSB target.
-        const uint64_t budget = std::clamp<uint64_t>(
-            ready_at > now_ ? ready_at - now_ + kMinSpecWindow : kMinSpecWindow,
-            kMinSpecWindow, cpu_.speculation_window);
-        RunSpeculativeEpisode(program_->IndexOf(pred.target), now_, budget);
-        now_ = std::max(now_, ready_at) + cpu_.latency.mispredict_penalty;
-        pmcs_[static_cast<size_t>(Pmc::kMispIndirect)]++;
-      } else {
-        // RSB underflow: fall back to the BTB (the SpectreRSB surface).
-        pmcs_[static_cast<size_t>(Pmc::kRsbUnderflows)]++;
-        Btb::Prediction btb_pred{};
-        if (PredictionAllowed(mode_)) {
-          btb_pred = btb_.Predict(pc, mode_, caller_context(), stibp_active_ ? smt_thread_id_ : 0);
-        }
-        if (btb_pred.hit && btb_pred.target == actual) {
-          now_ += cpu_.latency.indirect_predicted;
-        } else if (btb_pred.hit) {
-          const uint64_t budget = std::clamp<uint64_t>(
-              ready_at > now_ ? ready_at - now_ + kMinSpecWindow : kMinSpecWindow,
-              kMinSpecWindow, cpu_.speculation_window);
-          RunSpeculativeEpisode(program_->IndexOf(btb_pred.target), now_, budget);
-          now_ = std::max(now_, ready_at) + cpu_.latency.mispredict_penalty;
-          pmcs_[static_cast<size_t>(Pmc::kMispIndirect)]++;
-        } else {
-          now_ = std::max(now_, ready_at) + cpu_.latency.frontend_redirect;
-        }
-      }
-      const int32_t target = program_->IndexOf(actual);
-      SPECBENCH_CHECK_MSG(target >= 0, "ret to address outside the program");
-      next = target;
-      break;
-    }
-    case Op::kIndirectJmp:
-    case Op::kIndirectCall: {
-      const uint64_t actual = regs_[in.src1];
-      const uint64_t resolve_at = std::max(now_, srcs_ready);
-      const bool allowed = PredictionAllowed(mode_);
-      Btb::Prediction pred{};
-      if (allowed) {
-        pred = btb_.Predict(pc, mode_, caller_context(), stibp_active_ ? smt_thread_id_ : 0);
-      }
-      if (pred.hit && pred.target == actual) {
-        pmcs_[static_cast<size_t>(Pmc::kBtbHits)]++;
-        now_ += cpu_.latency.indirect_predicted;
-      } else if (pred.hit) {
-        // BTB poisoned or stale: transient execution at the predicted target
-        // until the true target resolves — the Spectre V2 mechanism.
-        const uint64_t budget = std::clamp<uint64_t>(
-            resolve_at > now_ ? resolve_at - now_ + kMinSpecWindow : kMinSpecWindow,
-            kMinSpecWindow, cpu_.speculation_window);
-        RunSpeculativeEpisode(program_->IndexOf(pred.target), now_, budget);
-        now_ = std::max(now_, resolve_at) + cpu_.latency.mispredict_penalty;
-        pmcs_[static_cast<size_t>(Pmc::kMispIndirect)]++;
-      } else {
-        // No prediction: the front end waits for the target. The paper notes
-        // post-IBPB branches still count as mispredicts; we match that.
-        now_ = std::max(now_, resolve_at) + cpu_.latency.indirect_predicted +
-               cpu_.latency.frontend_redirect;
-        pmcs_[static_cast<size_t>(Pmc::kMispIndirect)]++;
-      }
-      if (allowed) {
-        btb_.Train(pc, actual, mode_, caller_context(), stibp_active_ ? smt_thread_id_ : 0);
-      }
-      if (in.op == Op::kIndirectCall) {
-        const uint64_t ret_vaddr = program_->VaddrOf(rip_ + 1);
-        rsb_.Push(ret_vaddr);
-        call_site_stack_.push_back(pc);
-        if (call_site_stack_.size() > 64) {
-          call_site_stack_.erase(call_site_stack_.begin());
-        }
-        const uint64_t sp = regs_[kRegSp] - 8;
-        WriteReg(kRegSp, sp, std::max(now_, ready_at_[kRegSp]) + 1);
-        const Translation t = memory_map_->Translate(sp, cr3_, mode_);
-        SPECBENCH_CHECK_MSG(t.valid, "indirect call with unmapped stack");
-        DrainResolvedStores(now_);
-        for (const auto& drained :
-             store_buffer_.Push(t.paddr, ret_vaddr,
-                                now_ + cpu_.latency.store_resolve_delay,
-                                now_ + kAddrResolveDelay)) {
-          ApplyStore(drained);
-        }
-      }
-      const int32_t target = program_->IndexOf(actual);
-      SPECBENCH_CHECK_MSG(target >= 0, "indirect branch to address outside the program");
-      next = target;
-      break;
-    }
-    case Op::kLfence:
-      Serialize();
-      now_ += cpu_.latency.lfence;
-      break;
-    case Op::kMfence:
-      Serialize();
-      DrainStoreBuffer();
-      now_ += cpu_.latency.lfence + 5;
-      break;
-    case Op::kPause:
-      now_ += cpu_.latency.pause;
-      break;
-    case Op::kSyscall: {
-      SPECBENCH_CHECK_MSG(mode_ == Mode::kUser || mode_ == Mode::kGuestUser,
-                          "syscall from non-user mode");
-      Serialize();
-      now_ += cpu_.latency.syscall;
-      saved_user_rip_ = program_->VaddrOf(rip_ + 1);
-      mode_ = mode_ == Mode::kUser ? Mode::kKernel : Mode::kGuestKernel;
-      pmcs_[static_cast<size_t>(Pmc::kKernelEntries)]++;
-      // §6.2.2: eIBRS parts periodically scrub kernel predictor state on
-      // entry, observed as bimodal syscall latency.
-      const PredictorPolicy& pp = cpu_.predictor;
-      if (pp.eibrs && ibrs_active() && pp.eibrs_scrub_period != 0 &&
-          ++kernel_entry_counter_ % pp.eibrs_scrub_period == 0) {
-        now_ += pp.eibrs_scrub_cycles;
-        btb_.FlushKernelEntries();
-      }
-      const int32_t entry = program_->IndexOf(syscall_entry_);
-      SPECBENCH_CHECK_MSG(entry >= 0, "syscall entry point not configured");
-      next = entry;
-      break;
-    }
-    case Op::kSysret: {
-      SPECBENCH_CHECK_MSG(IsKernelMode(mode_), "sysret from user mode");
-      Serialize();
-      now_ += cpu_.latency.sysret;
-      mode_ = mode_ == Mode::kGuestKernel ? Mode::kGuestUser : Mode::kUser;
-      const int32_t target = program_->IndexOf(saved_user_rip_);
-      SPECBENCH_CHECK_MSG(target >= 0, "sysret to address outside the program");
-      next = target;
-      break;
-    }
-    case Op::kSwapgs:
-      now_ += cpu_.latency.swapgs;
-      break;
-    case Op::kMovCr3: {
-      Serialize();
-      now_ += cpu_.latency.swap_cr3;
-      cr3_ = regs_[in.src1];
-      if (!pcid_enabled_) {
-        tlb_.FlushAll();
-      }
-      break;
-    }
-    case Op::kVerw: {
-      Serialize();
-      if (cpu_.vuln.mds) {
-        // Microcode-patched verw: clears fill buffers, store buffer, ports.
-        now_ += cpu_.latency.verw_clear;
-        fill_buffers_.Clear();
-        DrainStoreBuffer();
-      } else {
-        now_ += cpu_.latency.verw_legacy;
-      }
-      break;
-    }
-    case Op::kWrmsr: {
-      Serialize();
-      const uint32_t msr = static_cast<uint32_t>(in.imm);
-      const uint64_t value = regs_[in.src1];
-      if (msr == kMsrSpecCtrl) {
-        now_ += cpu_.latency.wrmsr_spec_ctrl;
-        msr_spec_ctrl_ = value;
-        if (!cpu_.predictor.ibrs_supported) {
-          msr_spec_ctrl_ &= ~kSpecCtrlIbrs;
-        }
-      } else if (msr == kMsrPredCmd) {
-        if ((value & kPredCmdIbpb) != 0) {
-          now_ += cpu_.latency.ibpb;
-          btb_.FlushAll();
-        } else {
-          now_ += cpu_.latency.wrmsr_other;
-        }
-      } else if (msr == kMsrFlushCmd) {
-        if ((value & 1) != 0) {
-          now_ += cpu_.latency.flush_l1d;
-          caches_.FlushL1();
-        } else {
-          now_ += cpu_.latency.wrmsr_other;
-        }
-      } else {
-        now_ += cpu_.latency.wrmsr_other;
-        msr_other_[msr] = value;
-      }
-      break;
-    }
-    case Op::kRdmsr: {
-      Serialize();
-      now_ += cpu_.latency.wrmsr_other / 2;
-      const uint32_t msr = static_cast<uint32_t>(in.imm);
-      uint64_t value = 0;
-      if (msr == kMsrSpecCtrl) {
-        value = msr_spec_ctrl_;
-      } else if (auto it = msr_other_.find(msr); it != msr_other_.end()) {
-        value = it->second;
-      }
-      WriteReg(in.dst, value, now_ + 1);
-      break;
-    }
-    case Op::kRdtsc:
-      WriteReg(in.dst, now_, now_ + cpu_.latency.rdtsc);
-      now_ += cpu_.latency.rdtsc;
-      break;
-    case Op::kRdpmc: {
-      const Pmc counter = static_cast<Pmc>(in.imm);
-      WriteReg(in.dst, PmcValue(counter), now_ + cpu_.latency.rdpmc);
-      now_ += cpu_.latency.rdpmc;
-      break;
-    }
-    case Op::kClflush: {
-      const uint64_t vaddr = EffectiveAddress(in, regs_);
-      const Translation t = memory_map_->Translate(vaddr, cr3_, mode_);
-      if (t.mapped) {
-        DrainStoreBuffer();
-        caches_.Clflush(t.paddr);
-      }
-      now_ += cpu_.latency.clflush;
-      break;
-    }
-    case Op::kFlushL1d:
-      Serialize();
-      caches_.FlushL1();
-      now_ += cpu_.latency.flush_l1d;
-      break;
-    case Op::kRsbStuff:
-      // Stuff all RSB slots with benign entries (outside the program, so
-      // speculation through them goes nowhere).
-      rsb_.Stuff(0);
-      now_ += cpu_.latency.rsb_stuff;
-      break;
-    case Op::kXsave:
-      Serialize();
-      now_ += cpu_.latency.xsave;
-      break;
-    case Op::kXrstor:
-      Serialize();
-      now_ += cpu_.latency.xrstor;
-      break;
-    case Op::kFpOp:
-    case Op::kFpToGp:
-    case Op::kGpToFp: {
-      if (!fpu_enabled_) {
-        // Device-not-available trap: the lazy-FPU path. The OS hook saves
-        // the old owner's registers and re-enables the FPU; then retry.
-        Serialize();
-        now_ += cpu_.latency.fp_trap;
-        SPECBENCH_CHECK_MSG(fp_trap_hook_ != nullptr, "FP use with FPU disabled and no hook");
-        fp_trap_hook_(*this);
-        SPECBENCH_CHECK_MSG(fpu_enabled_, "FP trap hook did not enable the FPU");
-        next = rip_;  // retry this instruction
-        break;
-      }
-      const uint8_t fp_index = static_cast<uint8_t>(in.imm) & (kNumFpRegs - 1);
-      if (in.op == Op::kFpOp) {
-        fpregs_[fp_index] = fpregs_[fp_index] * 3 + 1;
-      } else if (in.op == Op::kFpToGp) {
-        WriteReg(in.dst, fpregs_[fp_index], std::max(now_, srcs_ready) + cpu_.latency.fp_op);
-      } else {
-        fpregs_[fp_index] = regs_[in.src1];
-      }
-      now_ += 1;
-      break;
-    }
-    case Op::kCpuid:
-      Serialize();
-      now_ += cpu_.latency.cpuid;
-      break;
-    case Op::kVmEnter: {
-      SPECBENCH_CHECK_MSG(mode_ == Mode::kHost || mode_ == Mode::kKernel,
-                          "vm_enter from non-host mode");
-      Serialize();
-      now_ += cpu_.latency.vm_enter;
-      saved_host_rip_ = program_->VaddrOf(rip_ + 1);
-      mode_ = Mode::kGuestKernel;
-      const int32_t target = program_->IndexOf(guest_resume_rip_);
-      SPECBENCH_CHECK_MSG(target >= 0, "guest resume point not configured");
-      next = target;
-      break;
-    }
-    case Op::kVmExit: {
-      SPECBENCH_CHECK_MSG(mode_ == Mode::kGuestKernel || mode_ == Mode::kGuestUser,
-                          "vm_exit from non-guest mode");
-      Serialize();
-      now_ += cpu_.latency.vm_exit;
-      guest_resume_rip_ = program_->VaddrOf(rip_ + 1);
-      mode_ = Mode::kHost;
-      const int32_t target = program_->IndexOf(vm_exit_handler_);
-      SPECBENCH_CHECK_MSG(target >= 0, "vm exit handler not configured");
-      next = target;
-      break;
-    }
-    case Op::kKcall: {
-      auto it = kcall_hooks_.find(in.imm);
-      SPECBENCH_CHECK_MSG(it != kcall_hooks_.end(), "kKcall with unregistered hook id");
-      now_++;
-      it->second(*this);
-      break;
-    }
-    case Op::kHalt:
-      halted_ = true;
-      now_++;
+    case StepClass::kSystem:
+      next = StepSystem(in, srcs_ready);
       break;
   }
   rip_ = next;
+
+  if (accounting) {
+    // Invariant: every issue-clock advance of this step is either slack
+    // (ROB backpressure / fence catch-up, reported untagged), an explicit
+    // tagged charge (SSBD discipline, eIBRS scrub, AddCycles), or the
+    // instruction's own direct cost — which its static cause tag owns.
+    const uint64_t advance = now_ - step_start_now;
+    const uint64_t direct = advance - step_stall_cycles_ - step_tagged_cycles_;
+    if (step_stall_cycles_ > 0) {
+      bus_.Emit(UarchEvent{EventKind::kSerializationStall, CauseTag::kNone,
+                           in.op, mode_, index, now_, step_stall_cycles_, 0});
+    }
+    bus_.Emit(UarchEvent{EventKind::kRetire, in.cause, in.op, mode_, index,
+                         now_, direct, 0});
+  }
 }
 
 }  // namespace specbench

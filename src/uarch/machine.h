@@ -10,6 +10,15 @@
 //   * Serializing instructions (lfence, syscall, wrmsr, cpuid, mov cr3 ...)
 //     synchronize the issue clock with the frontier.
 //
+// Structure (docs/uarch.md): the Machine coordinates four pipeline
+// components — the frontend/prediction unit (src/uarch/frontend.h), the
+// execute/scoreboard unit (machine_exec.cc), the memory subsystem
+// (src/uarch/memory_unit.h, machine_mem.cc) and the speculative-episode
+// engine (speculation.cc) — publishing typed, cause-tagged events on a
+// uarch event bus (src/uarch/event.h). Mitigation behaviour is never
+// branched on inline; it is compiled once into a MitigationEffects policy
+// (src/uarch/mitigation_effects.h) whenever the mitigation state changes.
+//
 // Speculation: a mispredicted branch triggers a *speculative episode* that
 // interprets the wrong path for as many cycles as the branch takes to
 // resolve (bounded by the CPU's speculation window). Episodes have no
@@ -17,7 +26,7 @@
 // buffer updates, and divider activity — which is exactly what transient
 // execution attacks observe, and what the paper's Figure 6 probe measures.
 //
-// Vulnerability modelling inside episodes (gated by CpuModel flags):
+// Vulnerability modelling inside episodes (gated by MitigationEffects):
 //   * Meltdown: user-mode loads of kernel-only mappings return real data.
 //   * L1TF: loads through non-present PTEs return data if the line is in L1.
 //   * MDS: loads that fault with no mapping forward stale fill-buffer data.
@@ -37,7 +46,11 @@
 #include "src/isa/isa.h"
 #include "src/isa/program.h"
 #include "src/uarch/cache.h"
+#include "src/uarch/event.h"
+#include "src/uarch/frontend.h"
 #include "src/uarch/memory.h"
+#include "src/uarch/memory_unit.h"
+#include "src/uarch/mitigation_effects.h"
 #include "src/uarch/predictors.h"
 
 namespace specbench {
@@ -75,6 +88,8 @@ class Machine {
   // (before execution) with its program index, pc and the current cycle.
   // Speculative episodes are not traced — they never commit. Intended for
   // debugging and workload characterization; adds noticeable overhead.
+  // Dispatch is guarded by a cached bool, so an unset hook costs one
+  // predictable branch per step (never a std::function call).
   struct TraceRecord {
     int32_t index = 0;
     uint64_t pc = 0;
@@ -83,7 +98,20 @@ class Machine {
     uint64_t cycle = 0;
   };
   using TraceHook = std::function<void(const TraceRecord&)>;
-  void SetTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+  void SetTraceHook(TraceHook hook) {
+    trace_hook_ = std::move(hook);
+    has_trace_hook_ = static_cast<bool>(trace_hook_);
+  }
+
+  // --- Uarch event bus ----------------------------------------------------
+  // Typed, cause-tagged events from the pipeline components (src/uarch/
+  // event.h). Sinks observe only: attaching one never changes timing or
+  // architectural results, and with no sinks attached every emission site
+  // short-circuits on the bus's cached `active()` bool.
+  EventBus& event_bus() { return bus_; }
+  const EventBus& event_bus() const { return bus_; }
+  // The compiled mitigation policy currently in force (tests, tools).
+  const MitigationEffects& effects() const { return effects_; }
 
   // --- Architectural state -----------------------------------------------
   uint64_t reg(uint8_t index) const;
@@ -112,15 +140,24 @@ class Machine {
   void SetIbrs(bool active);
 
   // When false, cr3 writes flush the TLB (kernel booted with nopcid).
-  void SetPcidEnabled(bool enabled) { pcid_enabled_ = enabled; }
+  void SetPcidEnabled(bool enabled) {
+    pcid_enabled_ = enabled;
+    RecompileEffects();
+  }
 
   // SMT sibling identity and STIBP. When STIBP is active, indirect branch
   // predictor entries are partitioned per hyperthread, blocking cross-SMT
   // Spectre V2 training. The interleaving harness sets the thread id as it
   // switches siblings.
-  void SetSmtThreadId(uint64_t id) { smt_thread_id_ = id; }
+  void SetSmtThreadId(uint64_t id) {
+    smt_thread_id_ = id;
+    RecompileEffects();
+  }
   uint64_t smt_thread_id() const { return smt_thread_id_; }
-  void SetStibp(bool active) { stibp_active_ = active; }
+  void SetStibp(bool active) {
+    stibp_active_ = active;
+    RecompileEffects();
+  }
   bool stibp_active() const { return stibp_active_; }
 
   // --- Execution -----------------------------------------------------------
@@ -157,26 +194,28 @@ class Machine {
   uint64_t cycles() const;
   uint64_t PmcValue(Pmc counter) const;
   void ResetPmcs();
-  // Adds cycles directly (used by OS hooks to charge handler work).
-  void AddCycles(uint64_t cycles);
+  // Adds cycles directly (used by OS hooks to charge handler work). The
+  // cause tags who pays for them on the event bus (kExternalCharge);
+  // timing is identical regardless of the tag.
+  void AddCycles(uint64_t cycles, CauseTag cause = CauseTag::kNone);
   // Makes all in-flight work complete (used at measurement boundaries).
   void DrainPipeline();
   void DrainStoreBuffer();
 
   // --- Microarchitectural state (tests, attacks, mitigation code) ---------
-  CacheHierarchy& caches() { return caches_; }
-  const CacheHierarchy& caches() const { return caches_; }
-  Tlb& tlb() { return tlb_; }
-  Btb& btb() { return btb_; }
-  Rsb& rsb() { return rsb_; }
-  CondPredictor& cond_predictor() { return cond_predictor_; }
-  FillBuffers& fill_buffers() { return fill_buffers_; }
-  StoreBuffer& store_buffer() { return store_buffer_; }
-  SparseMemory& physical_memory() { return memory_; }
+  CacheHierarchy& caches() { return mem_.caches; }
+  const CacheHierarchy& caches() const { return mem_.caches; }
+  Tlb& tlb() { return mem_.tlb; }
+  Btb& btb() { return frontend_.btb; }
+  Rsb& rsb() { return frontend_.rsb; }
+  CondPredictor& cond_predictor() { return frontend_.cond; }
+  FillBuffers& fill_buffers() { return mem_.fill_buffers; }
+  StoreBuffer& store_buffer() { return mem_.store_buffer; }
+  SparseMemory& physical_memory() { return mem_.memory; }
   const CpuModel& cpu() const { return cpu_; }
 
   // Caller-context hash feeding BHB-indexed BTBs (Zen 3 policy).
-  uint64_t caller_context() const;
+  uint64_t caller_context() const { return frontend_.CallerContext(); }
 
   // Test-only fault injection: the `nth` committed kAlu result (1-based) has
   // its low bit flipped, a one-off silent state corruption. Used by the
@@ -190,10 +229,23 @@ class Machine {
     std::array<uint64_t, kNumRegs> ready_at;
   };
 
+  // Recompiles the MitigationEffects policy from the CpuModel and the
+  // current mitigation state. Called on every state change (setters, wrmsr
+  // to SPEC_CTRL, context restore) — never on the hot path.
+  void RecompileEffects();
+
   void Step();
+  // Step handlers, one per pipeline component TU. Each executes `in`
+  // (already fetched at pc == VaddrOf(rip_)) and returns the next rip.
+  int32_t StepCompute(const Instruction& in, uint64_t srcs_ready);      // machine_exec.cc
+  int32_t StepMemory(const Instruction& in, uint64_t srcs_ready);       // machine_mem.cc
+  int32_t StepBranch(const Instruction& in, uint64_t pc, uint64_t srcs_ready);  // machine_branch.cc
+  int32_t StepSystem(const Instruction& in, uint64_t srcs_ready);       // machine_system.cc
+
   // Executes the wrong path starting at instruction `index` for at most
-  // `budget` cycles beginning at absolute cycle `t0`.
+  // `budget` cycles beginning at absolute cycle `t0` (speculation.cc).
   void RunSpeculativeEpisode(int32_t index, uint64_t t0, uint64_t budget);
+  void SpeculativeEpisodeBody(int32_t index, uint64_t t0, uint64_t budget);
 
   uint64_t SourcesReadyAt(const Instruction& instr) const;
   uint64_t EffectiveAddress(const Instruction& instr,
@@ -204,9 +256,12 @@ class Machine {
   void Serialize();
   void ApplyStore(const StoreBuffer::Entry& entry);
   void DrainResolvedStores(uint64_t now);
+  // Advances the issue clock by `cycles` of mitigation-owned stall and
+  // reports them (tagged with `cause`) on the bus.
+  void ChargeStall(uint64_t cycles, CauseTag cause);
   // Committed load path; returns value, sets *ready_at.
   uint64_t CommittedLoad(uint64_t vaddr, uint64_t issue_at, uint64_t* ready_at);
-  bool PredictionAllowed(Mode mode) const;
+  bool PredictionAllowed(Mode mode) const { return effects_.PredictionAllowed(mode); }
   // Episode-side load semantics incl. all vulnerability paths.
   uint64_t SpeculativeLoad(uint64_t vaddr, uint64_t at,
                            const std::map<uint64_t, uint64_t>& spec_stores, bool* completed);
@@ -238,21 +293,26 @@ class Machine {
   uint64_t instructions_ = 0;
   bool halted_ = false;
 
-  // Microarchitectural state.
-  SparseMemory memory_;
-  CacheHierarchy caches_;
-  Tlb tlb_;
-  Btb btb_;
-  Rsb rsb_;
-  CondPredictor cond_predictor_;
-  FillBuffers fill_buffers_;
-  StoreBuffer store_buffer_;
+  // Pipeline components (shared core resources under SMT interleaving).
+  FrontendUnit frontend_;
+  MemoryUnit mem_;
   bool pcid_enabled_;
   uint64_t smt_thread_id_ = 0;
   bool stibp_active_ = false;
-  std::vector<uint64_t> call_site_stack_;
-  uint64_t kernel_entry_counter_ = 0;
   uint64_t alu_fault_countdown_ = 0;
+
+  // Compiled mitigation policy; the only place mitigation state is branched
+  // on during execution.
+  MitigationEffects effects_;
+
+  // Event bus + per-step cycle accounting (valid only while a sink is
+  // attached; see Step()). `step_stall_cycles_` collects serialization /
+  // backpressure slack, `step_tagged_cycles_` collects cause-tagged charges
+  // already reported, so the residual issue-clock advance can be charged to
+  // the retiring instruction's own cause tag.
+  EventBus bus_;
+  uint64_t step_stall_cycles_ = 0;
+  uint64_t step_tagged_cycles_ = 0;
 
   std::array<uint64_t, static_cast<size_t>(Pmc::kCount)> pmcs_{};
 
@@ -260,6 +320,7 @@ class Machine {
   FpTrapHook fp_trap_hook_;
   std::map<int64_t, KcallHook> kcall_hooks_;
   TraceHook trace_hook_;
+  bool has_trace_hook_ = false;
 };
 
 }  // namespace specbench

@@ -1,0 +1,27 @@
+// Shared internals of the Machine's pipeline-component translation units
+// (machine.cc, machine_exec.cc, machine_mem.cc, machine_branch.cc,
+// machine_system.cc, speculation.cc). Not part of the public uarch API.
+#ifndef SPECTREBENCH_SRC_UARCH_MACHINE_INTERNAL_H_
+#define SPECTREBENCH_SRC_UARCH_MACHINE_INTERNAL_H_
+
+#include <cstdint>
+
+namespace specbench {
+namespace minternal {
+
+// Page-walk cost charged on a TLB miss.
+inline constexpr uint32_t kTlbWalkCycles = 24;
+// Store-to-load forwarding latency.
+inline constexpr uint32_t kForwardLatency = 5;
+// Cycles after issue until a store's *address* is known (data takes the
+// CPU-specific store_resolve_delay).
+inline constexpr uint32_t kAddrResolveDelay = 3;
+// Minimum wrong-path window even when a branch condition resolves instantly.
+inline constexpr uint64_t kMinSpecWindow = 2;
+// Sentinel readiness for values that never materialize inside an episode.
+inline constexpr uint64_t kNeverReady = ~UINT64_C(0) / 2;
+
+}  // namespace minternal
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_MACHINE_INTERNAL_H_

@@ -1,0 +1,28 @@
+// Memory subsystem of the decomposed machine: physical memory, the cache
+// hierarchy, the TLB, the fill buffers and the store buffer — i.e. every
+// structure transient-execution attacks leak through. Like the frontend,
+// this is the core-shared resource pool: SMT siblings run against the same
+// MemoryUnit.
+#ifndef SPECTREBENCH_SRC_UARCH_MEMORY_UNIT_H_
+#define SPECTREBENCH_SRC_UARCH_MEMORY_UNIT_H_
+
+#include "src/cpu/cpu_model.h"
+#include "src/uarch/cache.h"
+#include "src/uarch/memory.h"
+
+namespace specbench {
+
+struct MemoryUnit {
+  explicit MemoryUnit(const CpuModel& cpu)
+      : caches(cpu), tlb(cpu.tlb_entries, 4), fill_buffers(cpu.fill_buffer_entries) {}
+
+  SparseMemory memory;
+  CacheHierarchy caches;
+  Tlb tlb;
+  FillBuffers fill_buffers;
+  StoreBuffer store_buffer;
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_MEMORY_UNIT_H_

@@ -1,0 +1,49 @@
+#include "src/uarch/mitigation_effects.h"
+
+namespace specbench {
+
+MitigationEffects MitigationEffects::Compile(const CpuModel& cpu,
+                                             uint64_t msr_spec_ctrl,
+                                             bool stibp_active,
+                                             uint64_t smt_thread_id,
+                                             bool pcid_enabled) {
+  MitigationEffects e;
+  const PredictorPolicy& pp = cpu.predictor;
+  const bool ibrs_active = (msr_spec_ctrl & kSpecCtrlIbrs) != 0;
+
+  // Spectre V2 prediction policy (§6.2). Legacy IBRS kills all prediction
+  // while the bit is set; the Ice Lake Client eIBRS quirk only kernel-mode.
+  if (ibrs_active && pp.ibrs_blocks_all_prediction) {
+    e.allow_user_prediction = false;
+    e.allow_kernel_prediction = false;
+  } else if (ibrs_active && pp.eibrs && pp.eibrs_blocks_kernel_prediction) {
+    e.allow_kernel_prediction = false;
+  }
+  if (ibrs_active && pp.eibrs && pp.eibrs_scrub_period != 0) {
+    e.eibrs_scrub_period = pp.eibrs_scrub_period;
+    e.eibrs_scrub_cycles = pp.eibrs_scrub_cycles;
+  }
+  e.btb_thread_tag = stibp_active ? smt_thread_id : 0;
+
+  // SSB (§4.3): SSBD turns off store-to-load forwarding; bypass of
+  // unresolved stores needs vulnerable hardware *and* SSBD off.
+  e.ssbd_discipline = (msr_spec_ctrl & kSpecCtrlSsbd) != 0;
+  e.ssbd_forward_stall = cpu.latency.ssbd_forward_stall;
+  e.ssb_bypass = cpu.vuln.spec_store_bypass && !e.ssbd_discipline;
+
+  // Leak gates come straight from the silicon's vulnerability flags.
+  e.meltdown_leak = cpu.vuln.meltdown;
+  e.l1tf_leak = cpu.vuln.l1tf;
+  e.mds_leak = cpu.vuln.mds;
+  e.lazy_fp_leak = cpu.vuln.lazy_fp;
+
+  e.flush_tlb_on_cr3_write = !pcid_enabled;
+
+  e.verw_clears_buffers = cpu.vuln.mds;
+  e.verw_cycles = cpu.vuln.mds ? cpu.latency.verw_clear : cpu.latency.verw_legacy;
+
+  e.cmov_load_fusion = cpu.cmov_load_fusion;
+  return e;
+}
+
+}  // namespace specbench

@@ -1,0 +1,99 @@
+// Compiled mitigation policy.
+//
+// The Machine used to sprinkle `if (ssbd_active()) ...` / `if (pti_) ...`
+// checks across its execution paths. MitigationEffects collapses all of that
+// into one policy object compiled from the CpuModel and the machine's
+// dynamic mitigation state (SPEC_CTRL, STIBP, PCID enable). The pipeline
+// components read plain fields off this struct; no mitigation-specific
+// branching lives outside it. The Machine recompiles the policy whenever an
+// input changes (setter, wrmsr, context restore) — which is rare — so the
+// hot path pays only field loads.
+#ifndef SPECTREBENCH_SRC_UARCH_MITIGATION_EFFECTS_H_
+#define SPECTREBENCH_SRC_UARCH_MITIGATION_EFFECTS_H_
+
+#include <cstdint>
+
+#include "src/cpu/cpu_model.h"
+#include "src/isa/isa.h"
+
+namespace specbench {
+
+struct MitigationEffects {
+  // --- Spectre V2: indirect-branch prediction control ---------------------
+  // Whether BTB/RSB prediction is consulted at all in user / kernel mode.
+  // Legacy IBRS parts disable *all* prediction while IBRS=1 (§6.2.1); the
+  // Ice Lake Client eIBRS quirk never predicts kernel-mode branches.
+  bool allow_user_prediction = true;
+  bool allow_kernel_prediction = true;
+  // eIBRS periodic kernel BTB scrub (§6.2.2). Zero period disables; nonzero
+  // means every `eibrs_scrub_period`-th kernel entry stalls for
+  // `eibrs_scrub_cycles` and drops kernel BTB entries.
+  uint32_t eibrs_scrub_period = 0;
+  uint32_t eibrs_scrub_cycles = 0;
+  // STIBP: partition the BTB between hyperthreads by tagging entries with
+  // the SMT thread id (0 when STIBP is off — threads share entries).
+  uint64_t btb_thread_tag = 0;
+
+  // --- Speculative Store Bypass -------------------------------------------
+  // SSBD discipline on the committed load path: store-to-load forwarding is
+  // disabled, loads wait for older store addresses and pay `forward_stall`.
+  bool ssbd_discipline = false;
+  uint32_t ssbd_forward_stall = 0;
+  // Whether a speculative load may bypass an unresolved older store and read
+  // stale memory (the §4.3 attack primitive). Off when the hardware has
+  // SSB_NO or SSBD is engaged.
+  bool ssb_bypass = false;
+
+  // --- Leak gates: what transient loads can observe -----------------------
+  bool meltdown_leak = false;  // user-mode read of kernel data forwards
+  bool l1tf_leak = false;      // non-present PTE still reads L1 by paddr
+  bool mds_leak = false;       // unmapped access samples fill buffers
+  bool lazy_fp_leak = false;   // FP reads see stale fpregs when FPU disabled
+
+  // --- PTI / PCID ---------------------------------------------------------
+  // Without PCID, every cr3 write flushes the whole TLB (what makes
+  // nopti/nopcid interesting in Figure 2).
+  bool flush_tlb_on_cr3_write = false;
+
+  // --- MDS ----------------------------------------------------------------
+  // With the MDS microcode patch, verw clears fill buffers and drains the
+  // store buffer (and costs verw_cycles; legacy verw is cheap).
+  bool verw_clears_buffers = false;
+  uint32_t verw_cycles = 0;
+
+  // --- §7 hardware outlook ------------------------------------------------
+  // Hardware detects the cmov+dependent-load V1-mitigation pattern and keeps
+  // the mask architectural without serializing on it.
+  bool cmov_load_fusion = false;
+
+  bool PredictionAllowed(Mode mode) const {
+    return IsKernelMode(mode) ? allow_kernel_prediction : allow_user_prediction;
+  }
+
+  // Compiles the policy from the hardware model + dynamic mitigation state.
+  static MitigationEffects Compile(const CpuModel& cpu, uint64_t msr_spec_ctrl,
+                                   bool stibp_active, uint64_t smt_thread_id,
+                                   bool pcid_enabled);
+
+  // Capability clamps (the setter-side "does this part implement it at all"
+  // checks). SetSsbd on an SSB_NO part and SetIbrs on a part without the
+  // SPEC_CTRL.IBRS bit are no-ops.
+  static bool SsbdAvailable(const CpuModel& cpu) {
+    return cpu.vuln.spec_store_bypass;
+  }
+  static bool IbrsAvailable(const CpuModel& cpu) {
+    return cpu.predictor.ibrs_supported;
+  }
+  // Clamp a SPEC_CTRL write to the bits this part implements (IBRS writes on
+  // parts without the bit are dropped, matching the setter clamp).
+  static uint64_t ClampSpecCtrl(const CpuModel& cpu, uint64_t value) {
+    if (!IbrsAvailable(cpu)) {
+      value &= ~kSpecCtrlIbrs;
+    }
+    return value;
+  }
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_MITIGATION_EFFECTS_H_

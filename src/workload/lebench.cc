@@ -164,7 +164,8 @@ const std::vector<std::string>& LeBench::KernelNames() {
 }
 
 double LeBench::RunKernel(const std::string& name, const CpuModel& cpu,
-                          const MitigationConfig& config, uint64_t seed) {
+                          const MitigationConfig& config, uint64_t seed,
+                          CycleAttribution* attribution) {
   const KernelSpec spec = SpecFor(name);
   Kernel kernel(cpu, config);
   Process* partner = nullptr;
@@ -179,7 +180,14 @@ double LeBench::RunKernel(const std::string& name, const CpuModel& cpu,
   if (partner != nullptr) {
     kernel.SetProcessEntry(partner->pid, "partner_main");
   }
+  if (attribution != nullptr) {
+    attribution->Reset();
+    kernel.machine().event_bus().AddSink(attribution);
+  }
   kernel.Run("user_main");
+  if (attribution != nullptr) {
+    kernel.machine().event_bus().RemoveSink(attribution);
+  }
   Machine& m = kernel.machine();
   const uint64_t t0 = m.PeekData(static_cast<uint64_t>(kT0Slot));
   const uint64_t t1 = m.PeekData(static_cast<uint64_t>(kT1Slot));

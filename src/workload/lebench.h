@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/os/mitigation_config.h"
+#include "src/uarch/cycle_attribution.h"
 
 namespace specbench {
 
@@ -24,9 +25,13 @@ class LeBench {
 
   // Runs one named kernel on a fresh simulated kernel with `config` and
   // returns average cycles per operation (lower is better), with seeded
-  // measurement noise.
+  // measurement noise. If `attribution` is non-null it is reset, attached to
+  // the machine's event bus for the run, and left holding the measurement
+  // window (the kernels bracket the timed loop with lfence+rdtsc, so
+  // WindowTotalCycles() is exactly the unnoised t1 - t0).
   static double RunKernel(const std::string& name, const CpuModel& cpu,
-                          const MitigationConfig& config, uint64_t seed);
+                          const MitigationConfig& config, uint64_t seed,
+                          CycleAttribution* attribution = nullptr);
 
   // Runs the whole suite; returns kernel -> cycles/op.
   static std::map<std::string, double> RunSuite(const CpuModel& cpu,

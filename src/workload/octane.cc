@@ -307,7 +307,7 @@ const std::vector<std::string>& Octane::KernelNames() {
 
 double Octane::RunKernel(const std::string& name, const CpuModel& cpu,
                          const JitConfig& jit_config, const MitigationConfig& os_config,
-                         uint64_t seed) {
+                         uint64_t seed, CycleAttribution* attribution) {
   const OctaneKernel spec = KernelFor(name);
   Kernel kernel(cpu, os_config);
   // The browser is a seccomp-sandboxed process: the kernel's SSBD policy
@@ -348,7 +348,14 @@ double Octane::RunKernel(const std::string& name, const CpuModel& cpu,
   kernel.Finalize();
 
   spec.setup(kernel.machine(), jit_config);
+  if (attribution != nullptr) {
+    attribution->Reset();
+    kernel.machine().event_bus().AddSink(attribution);
+  }
   kernel.Run("user_main");
+  if (attribution != nullptr) {
+    kernel.machine().event_bus().RemoveSink(attribution);
+  }
 
   Machine& m = kernel.machine();
   const uint64_t t0 = m.PeekData(static_cast<uint64_t>(kT0Slot));

@@ -17,6 +17,7 @@
 
 #include "src/jit/jit.h"
 #include "src/os/mitigation_config.h"
+#include "src/uarch/cycle_attribution.h"
 
 namespace specbench {
 
@@ -26,9 +27,11 @@ class Octane {
 
   // Runs one kernel; returns an Octane-style score (higher is better,
   // inversely proportional to cycles per iteration), with seeded noise.
+  // If `attribution` is non-null it is reset, attached for the run, and left
+  // holding the lfence+rdtsc measurement window (see LeBench::RunKernel).
   static double RunKernel(const std::string& name, const CpuModel& cpu,
                           const JitConfig& jit_config, const MitigationConfig& os_config,
-                          uint64_t seed);
+                          uint64_t seed, CycleAttribution* attribution = nullptr);
 
   // Runs the whole suite; returns kernel -> score.
   static std::map<std::string, double> RunSuite(const CpuModel& cpu,

@@ -1,0 +1,92 @@
+// Byte-exact golden-file test for the `spectrebench counters` JSON.
+//
+// The emitter promises byte-reproducible output: fixed key order, every
+// CauseTag in enum order, integer cycle counts, and no timing/host fields.
+// The fixture pins the exact bytes of the CLI's default Broadwell rows;
+// regenerate after an intentional format or model change with
+//   SPECBENCH_REGEN_GOLDEN=1 ./counters_golden_test
+// and review the diff. (The measured numbers are deterministic — the
+// workload noise model only perturbs returned scores, never the bus — so
+// this doubles as a refactor guard on the attribution itself.)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/counters.h"
+#include "src/cpu/cpu_model.h"
+#include "src/jit/jit.h"
+#include "src/os/mitigation_config.h"
+
+namespace specbench {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return (std::filesystem::path(SPECBENCH_TEST_SOURCE_DIR) / "golden" / name).string();
+}
+
+std::string CheckAgainstGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("SPECBENCH_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    return actual;
+  }
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path
+                         << " (regenerate with SPECBENCH_REGEN_GOLDEN=1)";
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// The CLI's default rows for --cpus=Broadwell (tools/spectrebench_cli.cc
+// RunCounters must stay in sync with this).
+std::vector<CounterBreakdown> DefaultBroadwellRows() {
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  const MitigationConfig config = MitigationConfig::Defaults(cpu);
+  return {
+      MeasureLeBenchCounters(cpu, config, "getpid"),
+      MeasureLeBenchCounters(cpu, config, "context-switch"),
+      MeasureOctaneCounters(cpu, JitConfig::AllOn(), config, "richards"),
+  };
+}
+
+TEST(CountersGolden, JsonMatchesGoldenFileByteForByte) {
+  const std::string actual = RenderCountersJson(DefaultBroadwellRows());
+  EXPECT_EQ(actual, CheckAgainstGolden(actual, "counters.json"));
+}
+
+TEST(CountersGolden, NoTimingOrHostFields) {
+  // The output must stay byte-stable across machines and runs: nothing
+  // wall-clock, host or date shaped may appear.
+  const std::string json = RenderCountersJson(DefaultBroadwellRows());
+  for (const char* forbidden : {"wall", "time", "stamp", "date", "host", "duration",
+                                "elapsed", "seconds"}) {
+    EXPECT_EQ(json.find(forbidden), std::string::npos) << "found \"" << forbidden << "\"";
+  }
+  EXPECT_NE(json.find("\"schema\": \"spectrebench-counters-v1\""), std::string::npos);
+}
+
+TEST(CountersGolden, RenderIsDeterministicAcrossRuns) {
+  EXPECT_EQ(RenderCountersJson(DefaultBroadwellRows()),
+            RenderCountersJson(DefaultBroadwellRows()));
+}
+
+TEST(CountersGolden, CauseKeysFollowEnumOrder) {
+  const std::string json = RenderCountersJson(DefaultBroadwellRows());
+  size_t pos = 0;
+  for (size_t i = 0; i < kNumCauseTags; i++) {
+    const std::string key = std::string("\"") + CauseTagName(static_cast<CauseTag>(i)) + "\":";
+    const size_t at = json.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key;
+    pos = at;
+  }
+}
+
+}  // namespace
+}  // namespace specbench

@@ -330,5 +330,76 @@ TEST(Corpus, CommittedReproducersStayFixed) {
   EXPECT_GE(files, 1) << "tests/corpus/ should contain at least one reproducer";
 }
 
+// --- Refactor guard: architectural hashes of the committed corpus ---------
+//
+// Beyond "the oracle agrees with itself", the refactor guard pins the
+// *absolute* architectural outcome of the committed reproducers: retired
+// count, trace hash, register digest and memory digest per (cpu, config).
+// CI also diffs `spectrebench difftest --replay=... --arch-hashes` against
+// the same golden file, so the CLI emitter and this test must stay in sync.
+// Regenerate tests/golden/corpus_trace_hashes.txt deliberately (with the
+// CLI) when the ISA or the corpus changes.
+uint64_t FoldWord(uint64_t hash, uint64_t word) {
+  for (int i = 0; i < 8; i++) {
+    hash ^= (word >> (8 * i)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t RegDigest(const ArchState& state) {
+  uint64_t hash = kArchHashBasis;
+  for (uint64_t reg : state.regs) {
+    hash = FoldWord(hash, reg);
+  }
+  for (uint64_t reg : state.fpregs) {
+    hash = FoldWord(hash, reg);
+  }
+  return hash;
+}
+
+TEST(Corpus, ArchHashesMatchTheGoldenFile) {
+  const std::filesystem::path src_dir(SPECBENCH_TEST_SOURCE_DIR);
+  std::ifstream in(src_dir / "corpus" / "store-order-zen2.difftest");
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  Program program;
+  std::string error;
+  ASSERT_TRUE(ParseCorpusProgram(text.str(), &program, &error)) << error;
+
+  std::string actual = "# spectrebench arch-hashes v1\n";
+  for (Uarch u : AllUarches()) {
+    const CpuModel& cpu = GetCpuModel(u);
+    for (const DiffConfig& config : DefaultDiffConfigs()) {
+      const ArchState state = RunMachineArch(program, cpu, config, 1'000'000);
+      std::string cpu_slug = UarchName(u);
+      for (char& c : cpu_slug) {
+        if (c == ' ') c = '-';
+      }
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "cpu=%s config=%s retired=%llu trace=0x%016llx regs=0x%016llx "
+                    "mem=0x%016llx halted=%d\n",
+                    cpu_slug.c_str(), config.name.c_str(),
+                    static_cast<unsigned long long>(state.retired),
+                    static_cast<unsigned long long>(state.trace_hash),
+                    static_cast<unsigned long long>(RegDigest(state)),
+                    static_cast<unsigned long long>(state.memory_digest),
+                    state.halted ? 1 : 0);
+      actual += line;
+    }
+  }
+
+  std::ifstream golden_in(src_dir / "golden" / "corpus_trace_hashes.txt");
+  ASSERT_TRUE(golden_in.good()) << "missing tests/golden/corpus_trace_hashes.txt";
+  std::ostringstream golden;
+  golden << golden_in.rdbuf();
+  EXPECT_EQ(actual, golden.str())
+      << "architectural hashes drifted from the committed golden; if the "
+         "change is intentional, regenerate with spectrebench difftest "
+         "--replay=tests/corpus/store-order-zen2.difftest --arch-hashes";
+}
+
 }  // namespace
 }  // namespace specbench

@@ -130,5 +130,64 @@ TEST(Names, EnumToString) {
   EXPECT_STREQ(SsbdModeName(SsbdMode::kSeccomp), "seccomp");
 }
 
+TEST(Describe, ListsEveryKnobOnEveryTable1DefaultSet) {
+  // Describe() is the config's identity for logs and golden files: it must
+  // name every knob it covers (pcid/eager_fpu/smt_off are deliberately
+  // omitted — they don't vary across Table 1 rows) and must distinguish the
+  // default set from mitigations=off on every CPU.
+  const std::string all_off = MitigationConfig::AllOff().Describe();
+  for (Uarch u : AllUarches()) {
+    const std::string s = MitigationConfig::Defaults(GetCpuModel(u)).Describe();
+    for (const char* key : {"pti=", "mds=", "retpoline=", "ibrs=", "ibpb=", "rsb_stuff=",
+                            "v1=", "ssbd=", "l1tf="}) {
+      EXPECT_NE(s.find(key), std::string::npos) << UarchName(u) << ": " << s;
+    }
+    EXPECT_NE(s, all_off) << UarchName(u);
+  }
+}
+
+TEST(Describe, RoundTripsThroughConfigFromCmdline) {
+  for (Uarch u : AllUarches()) {
+    const CpuModel& cpu = GetCpuModel(u);
+    const std::string defaults = MitigationConfig::Defaults(cpu).Describe();
+    // An empty cmdline is the Table 1 default set.
+    EXPECT_EQ(ConfigFromCmdline(cpu, {}).Describe(), defaults) << UarchName(u);
+    // mitigations=off followed by mitigations=auto restores the defaults.
+    EXPECT_EQ(ConfigFromCmdline(cpu, {"mitigations=off", "mitigations=auto"}).Describe(),
+              defaults)
+        << UarchName(u);
+    // So does any disable token followed by mitigations=auto.
+    for (const char* token :
+         {"nopti", "nopcid", "mds=off", "nospectre_v1", "nospectre_v2",
+          "spec_store_bypass_disable=off", "l1tf=off", "eagerfpu=off", "nosmt"}) {
+      EXPECT_EQ(ConfigFromCmdline(cpu, {token, "mitigations=auto"}).Describe(), defaults)
+          << UarchName(u) << " via " << token;
+    }
+    // Unknown tokens are skipped without disturbing the rest of the cmdline.
+    EXPECT_EQ(ConfigFromCmdline(cpu, {"bogus=thing"}).Describe(), defaults) << UarchName(u);
+  }
+}
+
+TEST(Describe, DisableTokensShowUpInTheSummary) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  const struct {
+    const char* token;
+    const char* expect;
+  } cases[] = {
+      {"nopti", "pti=off"},
+      {"mds=off", "mds=off"},
+      {"nospectre_v2", "retpoline=none"},
+      {"nospectre_v1", "v1=off"},
+      {"spec_store_bypass_disable=off", "ssbd=off"},
+      {"spec_store_bypass_disable=on", "ssbd=on"},
+      {"l1tf=off", "l1tf=off"},
+      {"spectre_v2=ibrs", "ibrs=ibrs"},  // Broadwell: legacy IBRS
+  };
+  for (const auto& c : cases) {
+    const std::string s = ConfigFromCmdline(cpu, {c.token}).Describe();
+    EXPECT_NE(s.find(c.expect), std::string::npos) << c.token << " -> " << s;
+  }
+}
+
 }  // namespace
 }  // namespace specbench

@@ -1,0 +1,135 @@
+// MitigationEffects: the compiled policy object that owns every
+// mitigation-specific branch in the pipeline (src/uarch/mitigation_effects.h).
+#include <gtest/gtest.h>
+
+#include "src/cpu/cpu_model.h"
+#include "src/uarch/machine.h"
+#include "src/uarch/mitigation_effects.h"
+
+namespace specbench {
+namespace {
+
+MitigationEffects Compile(Uarch u, uint64_t spec_ctrl = 0, bool stibp = false,
+                          uint64_t thread = 0, bool pcid = true) {
+  return MitigationEffects::Compile(GetCpuModel(u), spec_ctrl, stibp, thread, pcid);
+}
+
+TEST(MitigationEffects, DefaultPolicyPredictsEverywhere) {
+  const MitigationEffects e = Compile(Uarch::kBroadwell);
+  EXPECT_TRUE(e.allow_user_prediction);
+  EXPECT_TRUE(e.allow_kernel_prediction);
+  EXPECT_TRUE(e.PredictionAllowed(Mode::kUser));
+  EXPECT_TRUE(e.PredictionAllowed(Mode::kKernel));
+  EXPECT_EQ(e.eibrs_scrub_period, 0u);
+  EXPECT_EQ(e.btb_thread_tag, 0u);
+  EXPECT_FALSE(e.ssbd_discipline);
+}
+
+TEST(MitigationEffects, LegacyIbrsBlocksAllPrediction) {
+  // Broadwell implements IBRS the pre-Spectre way: while the bit is set,
+  // no indirect prediction at all (Table 10).
+  const MitigationEffects e = Compile(Uarch::kBroadwell, kSpecCtrlIbrs);
+  EXPECT_FALSE(e.allow_user_prediction);
+  EXPECT_FALSE(e.allow_kernel_prediction);
+  EXPECT_FALSE(e.PredictionAllowed(Mode::kUser));
+}
+
+TEST(MitigationEffects, IceLakeClientEibrsQuirkBlocksKernelOnly) {
+  const MitigationEffects e = Compile(Uarch::kIceLakeClient, kSpecCtrlIbrs);
+  EXPECT_TRUE(e.allow_user_prediction);
+  EXPECT_FALSE(e.allow_kernel_prediction);
+}
+
+TEST(MitigationEffects, EibrsScrubOnlyWhileIbrsIsSet) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kCascadeLake);
+  ASSERT_TRUE(cpu.predictor.eibrs);
+  EXPECT_EQ(Compile(Uarch::kCascadeLake).eibrs_scrub_period, 0u);
+  const MitigationEffects e = Compile(Uarch::kCascadeLake, kSpecCtrlIbrs);
+  EXPECT_EQ(e.eibrs_scrub_period, cpu.predictor.eibrs_scrub_period);
+  EXPECT_EQ(e.eibrs_scrub_cycles, cpu.predictor.eibrs_scrub_cycles);
+}
+
+TEST(MitigationEffects, StibpTagsTheBtbPerThread) {
+  EXPECT_EQ(Compile(Uarch::kSkylakeClient, 0, /*stibp=*/true, /*thread=*/1).btb_thread_tag,
+            1u);
+  // STIBP off: siblings share entries regardless of the thread id.
+  EXPECT_EQ(Compile(Uarch::kSkylakeClient, 0, /*stibp=*/false, /*thread=*/1).btb_thread_tag,
+            0u);
+}
+
+TEST(MitigationEffects, SsbdTradesBypassForForwardingStalls) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
+  ASSERT_TRUE(cpu.vuln.spec_store_bypass);
+  const MitigationEffects off = Compile(Uarch::kSkylakeClient);
+  EXPECT_TRUE(off.ssb_bypass);
+  EXPECT_FALSE(off.ssbd_discipline);
+  const MitigationEffects on = Compile(Uarch::kSkylakeClient, kSpecCtrlSsbd);
+  EXPECT_FALSE(on.ssb_bypass);
+  EXPECT_TRUE(on.ssbd_discipline);
+  EXPECT_EQ(on.ssbd_forward_stall, cpu.latency.ssbd_forward_stall);
+}
+
+TEST(MitigationEffects, LeakGatesTrackTheSiliconFlags) {
+  for (Uarch u : {Uarch::kBroadwell, Uarch::kIceLakeServer, Uarch::kZen2}) {
+    const CpuModel& cpu = GetCpuModel(u);
+    const MitigationEffects e = Compile(u);
+    EXPECT_EQ(e.meltdown_leak, cpu.vuln.meltdown) << UarchName(u);
+    EXPECT_EQ(e.l1tf_leak, cpu.vuln.l1tf) << UarchName(u);
+    EXPECT_EQ(e.mds_leak, cpu.vuln.mds) << UarchName(u);
+    EXPECT_EQ(e.lazy_fp_leak, cpu.vuln.lazy_fp) << UarchName(u);
+    EXPECT_EQ(e.verw_clears_buffers, cpu.vuln.mds) << UarchName(u);
+    EXPECT_EQ(e.verw_cycles,
+              cpu.vuln.mds ? cpu.latency.verw_clear : cpu.latency.verw_legacy)
+        << UarchName(u);
+  }
+}
+
+TEST(MitigationEffects, NopcidFlushesOnCr3Writes) {
+  EXPECT_FALSE(Compile(Uarch::kBroadwell, 0, false, 0, /*pcid=*/true).flush_tlb_on_cr3_write);
+  EXPECT_TRUE(Compile(Uarch::kBroadwell, 0, false, 0, /*pcid=*/false).flush_tlb_on_cr3_write);
+}
+
+TEST(MitigationEffects, CapabilityClamps) {
+  const CpuModel& zen1 = GetCpuModel(Uarch::kZen1);
+  ASSERT_FALSE(zen1.predictor.ibrs_supported);
+  EXPECT_FALSE(MitigationEffects::IbrsAvailable(zen1));
+  // A SPEC_CTRL.IBRS write on a part without the bit is dropped; SSBD bits
+  // survive the clamp.
+  EXPECT_EQ(MitigationEffects::ClampSpecCtrl(zen1, kSpecCtrlIbrs | kSpecCtrlSsbd),
+            kSpecCtrlSsbd);
+  const CpuModel& broadwell = GetCpuModel(Uarch::kBroadwell);
+  EXPECT_EQ(MitigationEffects::ClampSpecCtrl(broadwell, kSpecCtrlIbrs), kSpecCtrlIbrs);
+  EXPECT_EQ(MitigationEffects::SsbdAvailable(broadwell), broadwell.vuln.spec_store_bypass);
+}
+
+TEST(MitigationEffects, MachineRecompilesOnStateChanges) {
+  // The Machine owns a compiled policy and must refresh it whenever an
+  // input changes — setters, context restores, wrmsr.
+  Machine m(GetCpuModel(Uarch::kSkylakeClient));
+  EXPECT_TRUE(m.effects().allow_kernel_prediction);
+  m.SetIbrs(true);
+  EXPECT_FALSE(m.effects().allow_kernel_prediction);  // legacy IBRS part
+  m.SetIbrs(false);
+  EXPECT_TRUE(m.effects().allow_kernel_prediction);
+
+  EXPECT_FALSE(m.effects().ssbd_discipline);
+  m.SetSsbd(true);
+  EXPECT_TRUE(m.effects().ssbd_discipline);
+  EXPECT_FALSE(m.effects().ssb_bypass);
+
+  m.SetStibp(true);
+  m.SetSmtThreadId(1);
+  EXPECT_EQ(m.effects().btb_thread_tag, 1u);
+
+  m.SetPcidEnabled(false);
+  EXPECT_TRUE(m.effects().flush_tlb_on_cr3_write);
+
+  // SetIbrs on a part without IBRS stays a no-op end to end.
+  Machine zen(GetCpuModel(Uarch::kZen1));
+  zen.SetIbrs(true);
+  EXPECT_FALSE(zen.ibrs_active());
+  EXPECT_TRUE(zen.effects().allow_kernel_prediction);
+}
+
+}  // namespace
+}  // namespace specbench

@@ -24,9 +24,11 @@
 #include "src/analysis/detectors.h"
 #include "src/analysis/report.h"
 #include "src/attack/attacks.h"
+#include "src/core/counters.h"
 #include "src/core/experiments.h"
 #include "src/core/sweep_grids.h"
 #include "src/workload/lebench.h"
+#include "src/workload/octane.h"
 
 using namespace specbench;
 
@@ -43,12 +45,15 @@ struct CliOptions {
   std::vector<std::string> grids = {"fig2", "fig3", "sec45"};
   std::vector<std::string> workloads;  // empty = all
   std::vector<std::string> configs;    // empty = all
+  std::vector<std::string> boot_params;  // Linux-style tokens for `counters`
+  bool strict_boot_params = false;     // unrecognized token => exit non-zero
   // difftest options.
   uint64_t seed_begin = 0;             // --seeds=A:B (B exclusive)
   uint64_t seed_end = 100;
   uint64_t inject_alu_fault = 0;       // oracle self-check: corrupt nth ALU op
   std::string corpus_out;              // directory for shrunk reproducers
   std::string replay;                  // corpus file to replay instead
+  bool arch_hashes = false;            // replay: print arch end-state hashes
 };
 
 std::vector<std::string> SplitCsv(const std::string& list) {
@@ -123,6 +128,55 @@ std::vector<Uarch> ParseCpuList(const std::string& list) {
     std::exit(2);
   }
   return cpus;
+}
+
+// Arch-hash digest lines for one corpus program across every CPU x difftest
+// config. The byte format is the refactor-guard contract: CI compares this
+// output against tests/golden/corpus_trace_hashes.txt, so any change to
+// retired traces, registers, or memory is caught even when the oracle still
+// agrees with itself. Keep in sync with tests/golden/corpus_trace_hashes.txt
+// (regenerate the golden deliberately when the ISA itself changes).
+uint64_t FoldWord(uint64_t hash, uint64_t word) {
+  for (int i = 0; i < 8; i++) {
+    hash ^= (word >> (8 * i)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t RegDigest(const ArchState& state) {
+  uint64_t hash = kArchHashBasis;
+  for (uint64_t reg : state.regs) {
+    hash = FoldWord(hash, reg);
+  }
+  for (uint64_t reg : state.fpregs) {
+    hash = FoldWord(hash, reg);
+  }
+  return hash;
+}
+
+void EmitArchHashes(const Program& program, const std::vector<Uarch>& cpus,
+                    const std::vector<DiffConfig>& configs) {
+  std::printf("# spectrebench arch-hashes v1\n");
+  for (Uarch u : cpus) {
+    const CpuModel& cpu = GetCpuModel(u);
+    for (const DiffConfig& config : configs) {
+      const ArchState state = RunMachineArch(program, cpu, config, 1'000'000);
+      std::string cpu_slug = std::string(UarchName(u));
+      for (char& c : cpu_slug) {
+        if (c == ' ') c = '-';
+      }
+      std::printf(
+          "cpu=%s config=%s retired=%llu trace=0x%016llx regs=0x%016llx "
+          "mem=0x%016llx halted=%d\n",
+          cpu_slug.c_str(), config.name.c_str(),
+          static_cast<unsigned long long>(state.retired),
+          static_cast<unsigned long long>(state.trace_hash),
+          static_cast<unsigned long long>(RegDigest(state)),
+          static_cast<unsigned long long>(state.memory_digest),
+          state.halted ? 1 : 0);
+    }
+  }
 }
 
 // Deterministic parallel sweep over the registered experiment grids. The
@@ -215,6 +269,11 @@ int RunDifftestCommand(const CliOptions& options) {
       std::fprintf(stderr, "difftest: %s: %s\n", options.replay.c_str(), error.c_str());
       return 2;
     }
+    if (options.arch_hashes) {
+      EmitArchHashes(program, opts.cpus,
+                     opts.configs.empty() ? DefaultDiffConfigs() : opts.configs);
+      return 0;
+    }
     const ReferenceResult ref = RunReference(program);
     if (!ref.ok) {
       std::printf("reference: %s\n", ref.error.c_str());
@@ -262,6 +321,58 @@ int RunDifftestCommand(const CliOptions& options) {
     }
   }
   return report.ok() ? 0 : 1;
+}
+
+// Per-mitigation cycle counters from the uarch event bus: one run per
+// (cpu, workload) under the boot-param-adjusted default configuration,
+// byte-stable JSON on stdout (golden-tested; no timing-environment fields).
+int RunCounters(const CliOptions& options) {
+  const std::vector<std::string> workloads =
+      options.workloads.empty()
+          ? std::vector<std::string>{"lebench:getpid", "lebench:context-switch",
+                                     "octane:richards"}
+          : options.workloads;
+
+  std::vector<CounterBreakdown> rows;
+  bool bad_boot_param = false;
+  for (Uarch u : options.cpus) {
+    const CpuModel& cpu = GetCpuModel(u);
+    MitigationConfig config = MitigationConfig::Defaults(cpu);
+    for (const std::string& token : options.boot_params) {
+      if (!ApplyBootParam(&config, cpu, token)) {
+        // ApplyBootParam returns false for tokens it does not recognize (or
+        // that this CPU cannot honour, e.g. spectre_v2=ibrs on Zen 1);
+        // surface that instead of silently measuring the wrong config.
+        std::fprintf(stderr,
+                     "counters: boot parameter \"%s\" not applied on %s "
+                     "(unrecognized or unsupported)\n",
+                     token.c_str(), UarchName(u));
+        bad_boot_param = true;
+      }
+    }
+    for (const std::string& workload : workloads) {
+      const size_t colon = workload.find(':');
+      const std::string suite = workload.substr(0, colon);
+      const std::string kernel =
+          colon == std::string::npos ? std::string() : workload.substr(colon + 1);
+      if (suite == "lebench" && Contains(LeBench::KernelNames(), kernel)) {
+        rows.push_back(MeasureLeBenchCounters(cpu, config, kernel));
+      } else if (suite == "octane" && Contains(Octane::KernelNames(), kernel)) {
+        rows.push_back(MeasureOctaneCounters(cpu, JitConfig::AllOn(), config, kernel));
+      } else {
+        std::fprintf(stderr,
+                     "counters: unknown workload \"%s\" (want lebench:<kernel> or "
+                     "octane:<kernel>)\n",
+                     workload.c_str());
+        return 2;
+      }
+    }
+  }
+  if (options.strict_boot_params && bad_boot_param) {
+    return 2;
+  }
+  std::printf("%s", RenderCountersJson(rows).c_str());
+  return 0;
 }
 
 // Static gadget analysis + simulator cross-validation over the corpus.
@@ -349,6 +460,11 @@ void PrintUsage() {
       "               runner: [--grids=fig2,fig3,sec45] [--jobs=N] [--seed=S]\n"
       "               [--workloads=a,b] [--configs=c] [--csv] [--quiet];\n"
       "               JSON/CSV on stdout is byte-identical for any --jobs\n"
+      "  counters     per-mitigation cycle counters from the uarch event bus:\n"
+      "               [--cpus=...] [--workloads=lebench:getpid,octane:richards]\n"
+      "               [--boot-params=nopti,mds=off,...] [--strict-boot-params];\n"
+      "               byte-stable JSON on stdout; tokens ApplyBootParam rejects\n"
+      "               warn on stderr (exit non-zero under --strict-boot-params)\n"
       "  attacks      run the full attack ground-truth suite\n"
       "  analyze      static gadget analysis of the corpus, cross-validated\n"
       "               against the simulator [--json]\n"
@@ -358,7 +474,9 @@ void PrintUsage() {
       "               [--configs=off,defaults,ssbd,ibrs,nopcid,stibp]\n"
       "               [--jobs=N] [--corpus-out=DIR] [--replay=FILE]\n"
       "               [--inject-alu-fault=N]; output is byte-identical for\n"
-      "               any --jobs; exit 0 iff architecturally equivalent\n");
+      "               any --jobs; exit 0 iff architecturally equivalent;\n"
+      "               --replay=FILE --arch-hashes prints the architectural\n"
+      "               end-state digests (the refactor-guard golden format)\n");
 }
 
 }  // namespace
@@ -388,6 +506,10 @@ int main(int argc, char** argv) {
       options.workloads = SplitCsv(arg.substr(12));
     } else if (arg.rfind("--configs=", 0) == 0) {
       options.configs = SplitCsv(arg.substr(10));
+    } else if (arg.rfind("--boot-params=", 0) == 0) {
+      options.boot_params = SplitCsv(arg.substr(14));
+    } else if (arg == "--strict-boot-params") {
+      options.strict_boot_params = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -410,6 +532,8 @@ int main(int argc, char** argv) {
       options.corpus_out = arg.substr(13);
     } else if (arg.rfind("--replay=", 0) == 0) {
       options.replay = arg.substr(9);
+    } else if (arg == "--arch-hashes") {
+      options.arch_hashes = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 2;
@@ -507,6 +631,9 @@ int main(int argc, char** argv) {
   }
   if (command == "sweep") {
     return RunSweep(options);
+  }
+  if (command == "counters") {
+    return RunCounters(options);
   }
   if (command == "attacks") {
     return RunAttackSuite(options);
