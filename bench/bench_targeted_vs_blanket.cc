@@ -1,17 +1,22 @@
-// Targeted vs blanket Spectre V1 hardening (the paper's §6.4 lfence story):
-// blanket compilation fences every conditional-branch edge, while the static
-// analyzer lets us fence only the flagged gadget loads. This benchmark
-// registers one sweep cell per (CPU, workload, rewrite strategy) with the
-// deterministic parallel runner and reports the overhead each strategy adds
-// on top of the unmitigated baseline. --jobs=N selects the worker count; the
-// results are identical for any N (the simulator itself is seed-free here).
+// Pass-vs-pass software-mitigation overhead matrix (the paper's §6.4 lfence
+// story, generalized to the whole pass registry): every registered mitigation
+// pass (src/analysis/passes.h) is applied to every workload on every CPU in
+// the catalog, and the hardened program's cycle count is compared against the
+// unmitigated baseline. The headline comparisons:
+//   * targeted-lfence vs blanket-lfence — analyzer-guided fencing pays only
+//     at flagged gadgets, blanket compilation fences every branch edge;
+//   * v1-index-mask vs targeted-lfence — SLH-style masking closes the same
+//     window with a data dependency instead of a pipeline drain.
+// One sweep cell per (CPU, workload, pass), registered with the deterministic
+// parallel runner: --jobs=N selects the worker count and the output is
+// byte-identical for any N (the simulator is cycle-exact and seed-free).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "src/analysis/detectors.h"
-#include "src/analysis/rewriter.h"
+#include "src/analysis/passes.h"
 #include "src/cpu/cpu_model.h"
 #include "src/isa/program.h"
 #include "src/jit/jit.h"
@@ -25,6 +30,8 @@ using namespace specbench;
 
 constexpr uint64_t kArrayBase = 0x42000000;
 constexpr uint64_t kLenAddr = 0x41000000;
+constexpr uint64_t kFpTable = 0x46000000;
+constexpr uint64_t kBenchStackTop = 0x48000000;
 constexpr int64_t kIterations = 512;
 constexpr uint64_t kArrayLen = 64;
 
@@ -61,7 +68,8 @@ Program BuildBoundsCheckedSum() {
 
 // The same hot loop preceded by one real V1 gadget on the function argument
 // (r0): the analyzer flags exactly that load, so targeted hardening pays for
-// one fence while blanket hardening still fences every loop iteration.
+// one fence while blanket hardening still fences every loop iteration — and
+// index masking pays a cmov dependency instead of the fence's drain.
 Program BuildGadgetPlusLoop() {
   ProgramBuilder b;
   Label in_bounds = b.NewLabel();
@@ -155,14 +163,45 @@ Program BuildJsGetElemLoop() {
   return b.Build();
 }
 
-void SetupFlatArray(Machine& m) {
+// Function-pointer dispatch loop: each iteration loads a handler address
+// from an in-memory table and calls through it — the indirect-branch-bound
+// shape the switchpoline pass rewrites into a compare chain. The table is
+// planted by setup() from the program's exported symbols, so the hardened
+// (relocated) program dispatches to its own moved handlers.
+Program BuildIndirectDispatchLoop() {
+  ProgramBuilder b;
+  Label loop = b.NewLabel();
+  b.BindSymbol("entry");
+  b.MovImm(1, static_cast<int64_t>(kFpTable));
+  b.MovImm(2, 0);  // i
+  b.MovImm(3, kIterations);
+  b.MovImm(5, 0);  // acc
+  b.Bind(loop);
+  b.AluImm(AluOp::kAnd, 6, 2, 3);  // handler index: i % 4
+  b.Load(7, MemRef{.base = 1, .index = 6, .scale = 8});
+  b.IndirectCall(7);
+  b.AluImm(AluOp::kAdd, 2, 2, 1);
+  b.Alu(AluOp::kCmpLt, 9, 2, 3);
+  b.BranchNz(9, loop);
+  b.Halt();
+  for (int j = 0; j < 4; j++) {
+    b.BindSymbol("fn" + std::to_string(j));
+    b.AluImm(AluOp::kAdd, 5, 5, j + 1);
+    b.Ret();
+  }
+  return b.Build();
+}
+
+void SetupFlatArray(Machine& m, const Program& p) {
+  (void)p;
   for (uint64_t i = 0; i < kArrayLen; i++) {
     m.PokeData(kArrayBase + 8 * i, i);
   }
   m.PokeData(kLenAddr, kArrayLen);
 }
 
-void SetupJsHeap(Machine& m) {
+void SetupJsHeap(Machine& m, const Program& p) {
+  (void)p;
   JsHeap heap(kJsHeapBase, 4096);
   std::vector<uint64_t> values;
   for (uint64_t i = 0; i < 16; i++) {
@@ -172,16 +211,23 @@ void SetupJsHeap(Machine& m) {
   heap.AllocArray(m, values);  // arr2 right after
 }
 
+void SetupDispatchTable(Machine& m, const Program& p) {
+  for (int j = 0; j < 4; j++) {
+    m.PokeData(kFpTable + 8 * j, p.SymbolVaddr("fn" + std::to_string(j)));
+  }
+  m.SetReg(kRegSp, kBenchStackTop);
+}
+
 struct Workload {
   const char* name;
   Program (*build)();
-  void (*setup)(Machine&);
+  void (*setup)(Machine&, const Program&);
 };
 
 uint64_t RunCycles(const CpuModel& cpu, const Workload& w, const Program& p) {
   Machine m(cpu);
   m.LoadProgram(&p);
-  w.setup(m);
+  w.setup(m, p);
   m.SetReg(0, 3);  // in-bounds "caller argument" for the gadget workloads
   return m.Run(p.SymbolVaddr("entry")).cycles;
 }
@@ -192,38 +238,37 @@ const std::vector<Workload>& Workloads() {
       {"gadget-plus-loop", BuildGadgetPlusLoop, SetupFlatArray},
       {"branch-heavy", BuildBranchHeavy, SetupFlatArray},
       {"js-getelem-loop", BuildJsGetElemLoop, SetupJsHeap},
+      {"indirect-dispatch", BuildIndirectDispatchLoop, SetupDispatchTable},
   };
   return kWorkloads;
 }
 
-// One cell per (CPU, workload, rewrite strategy). Each cell rebuilds its
-// program and machine from scratch, so cells share no mutable state and the
-// runner's determinism guarantee holds trivially (the measurement is
-// cycle-exact and seed-free). Metrics: base and hardened cycle counts, the
-// overhead in percent ("total"), and the number of fences inserted.
-Sweep BuildTargetedVsBlanketGrid() {
+// One cell per (CPU, workload, pass). Each cell rebuilds its program and
+// machine from scratch, so cells share no mutable state and the runner's
+// determinism guarantee holds trivially (the measurement is cycle-exact and
+// seed-free). Metrics: base and hardened cycle counts, the overhead in
+// percent ("total"), and the number of instructions the pass inserted.
+Sweep BuildPassMatrixGrid() {
   Sweep sweep;
   for (Uarch u : AllUarches()) {
     for (const Workload& w : Workloads()) {
-      for (const bool blanket : {false, true}) {
+      for (const MitigationPass* pass : MitigationPasses()) {
         sweep.Add(
-            SweepCellKey{UarchName(u), blanket ? "blanket" : "targeted", w.name},
-            [u, &w, blanket](uint64_t /*seed*/) {
+            SweepCellKey{UarchName(u), pass->name(), w.name},
+            [u, &w, pass](uint64_t /*seed*/) {
               const CpuModel& cpu = GetCpuModel(u);
               const Program program = w.build();
-              const RewriteResult rewrite =
-                  blanket ? HardenBlanket(program)
-                          : HardenTargeted(program, Analyze(program, cpu));
+              const PassRunReport run = RunPassToFixpoint(*pass, program, cpu);
               const double base = static_cast<double>(RunCycles(cpu, w, program));
               const double hardened =
-                  static_cast<double>(RunCycles(cpu, w, rewrite.program));
+                  static_cast<double>(RunCycles(cpu, w, run.hardened));
               CellOutput out;
               out.metrics.push_back(CellMetric{"base", "Unmitigated cycles", {base, 0.0}});
               out.metrics.push_back(CellMetric{"hardened", "Hardened cycles", {hardened, 0.0}});
               out.metrics.push_back(
                   CellMetric{"total", "Overhead", {(hardened / base - 1.0) * 100.0, 0.0}});
               out.metrics.push_back(CellMetric{
-                  "fences", "lfences inserted", {static_cast<double>(rewrite.inserted), 0.0}});
+                  "added", "Instructions inserted", {static_cast<double>(run.inserted), 0.0}});
               return out;
             });
       }
@@ -254,28 +299,59 @@ int main(int argc, char** argv) {
       runner.jobs = std::atoi(arg.c_str() + 7);
     }
   }
-  const Sweep sweep = BuildTargetedVsBlanketGrid();
+  const size_t num_passes = MitigationPasses().size();
+  const Sweep sweep = BuildPassMatrixGrid();
   const SweepResult result = sweep.Run(runner);
 
-  std::printf("Targeted (analyzer-guided) vs blanket lfence hardening\n");
-  std::printf("%-16s %-20s %10s %10s %10s %9s %9s %7s\n", "CPU", "workload", "base",
-              "targeted", "blanket", "tgt-ovh", "blk-ovh", "fences");
-  int wins = 0, total = 0;
-  // Cells were registered targeted-then-blanket per (CPU, workload) pair and
-  // come back in registration order.
-  for (size_t i = 0; i + 1 < result.cells.size(); i += 2) {
-    const SweepCellResult& tgt = result.cells[i];
-    const SweepCellResult& blk = result.cells[i + 1];
-    std::printf("%-16s %-20s %10.0f %10.0f %10.0f %8.1f%% %8.1f%% %3.0f/%-3.0f\n",
-                tgt.key.cpu.c_str(), tgt.key.workload.c_str(), Metric(tgt, "base"),
-                Metric(tgt, "hardened"), Metric(blk, "hardened"), Metric(tgt, "total"),
-                Metric(blk, "total"), Metric(tgt, "fences"), Metric(blk, "fences"));
-    total++;
-    if (Metric(tgt, "hardened") < Metric(blk, "hardened")) {
-      wins++;
+  std::printf("Software-mitigation pass overhead matrix (percent over unmitigated)\n");
+  std::printf("%-16s %-18s %8s", "CPU", "workload", "base");
+  for (const MitigationPass* pass : MitigationPasses()) {
+    // Short column labels: strip a trailing "-lfence" to keep the table tight.
+    std::string label = pass->name();
+    const size_t cut = label.rfind("-lfence");
+    if (cut != std::string::npos && cut > 0) {
+      label.resize(cut);
+    }
+    if (label.size() > 8) {
+      label.resize(8);
+    }
+    std::printf(" %8s", label.c_str());
+  }
+  std::printf("\n");
+
+  int targeted_wins = 0;  // targeted-lfence strictly cheaper than blanket-lfence
+  int mask_wins = 0;      // v1-index-mask strictly cheaper than targeted-lfence
+  int rows = 0;
+  // Cells come back in registration order: CPU x workload x pass.
+  for (size_t row = 0; row * num_passes < result.cells.size(); row++) {
+    const SweepCellResult* cells = &result.cells[row * num_passes];
+    std::printf("%-16s %-18s %8.0f", cells[0].key.cpu.c_str(),
+                cells[0].key.workload.c_str(), Metric(cells[0], "base"));
+    double targeted = 0.0, blanket = 0.0, mask = 0.0;
+    for (size_t pi = 0; pi < num_passes; pi++) {
+      const SweepCellResult& cell = cells[pi];
+      std::printf(" %7.1f%%", Metric(cell, "total"));
+      const std::string& name = MitigationPasses()[pi]->name();
+      if (name == "targeted-lfence") {
+        targeted = Metric(cell, "hardened");
+      } else if (name == "blanket-lfence") {
+        blanket = Metric(cell, "hardened");
+      } else if (name == "v1-index-mask") {
+        mask = Metric(cell, "hardened");
+      }
+    }
+    std::printf("\n");
+    rows++;
+    if (targeted < blanket) {
+      targeted_wins++;
+    }
+    if (mask < targeted) {
+      mask_wins++;
     }
   }
-  std::printf("\ntargeted strictly cheaper than blanket on %d/%d workload/CPU pairs\n", wins,
-              total);
-  return wins > 0 ? 0 : 1;
+  std::printf("\ntargeted-lfence strictly cheaper than blanket-lfence on %d/%d cells\n",
+              targeted_wins, rows);
+  std::printf("v1-index-mask strictly cheaper than targeted-lfence on %d/%d cells\n",
+              mask_wins, rows);
+  return targeted_wins > 0 && mask_wins > 0 ? 0 : 1;
 }

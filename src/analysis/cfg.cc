@@ -65,6 +65,7 @@ Cfg Cfg::Build(const Program& program) {
         break;
       case Op::kBranchNz:
       case Op::kBranchZ:
+      case Op::kBranchEqImm:
         add_edge(bb.id, term.target);
         add_edge(bb.id, bb.last + 1);
         break;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "src/isa/isa.h"
 
@@ -78,6 +79,7 @@ void DetectSpectreV1(const Cfg& cfg, const TaintAnalysis& taint, AnalysisResult*
       f.index = i;
       f.vaddr = p.VaddrOf(i);
       f.aux_index = t.secret_origin;
+      f.branch_index = state.spec_branch;
       f.detail = "transient " + std::string(OpName(in.op)) +
                  " dereferences secret produced by speculative load " +
                  Describe(p, t.secret_origin) + " under branch " +
@@ -149,7 +151,7 @@ class RsbWalker {
       }
     }
     for (int32_t root : roots) {
-      Walk(root, {});
+      Walk(root, {}, false);
     }
   }
 
@@ -166,40 +168,55 @@ class RsbWalker {
     result_->findings.push_back(std::move(f));
   }
 
-  void Walk(int32_t block, std::vector<int32_t> ret_sites) {
-    if (!visited_.insert({block, ret_sites.size()}).second) {
+  // `stuffed`: an executed kRsbStuff refilled the RSB with benign entries on
+  // this path, so a later underflowing ret predicts a harmless stuffed slot
+  // instead of falling back to the attacker-trainable BTB. The rsb-fill
+  // mitigation pass relies on both suppressions below for its fixpoint.
+  void Walk(int32_t block, std::vector<int32_t> ret_sites, bool stuffed) {
+    if (!visited_.insert({block, ret_sites.size(), stuffed}).second) {
       return;
     }
     const BasicBlock& bb = cfg_.block(block);
+    for (int32_t i = bb.first; i <= bb.last; i++) {
+      if (p_.at(i).op == Op::kRsbStuff) {
+        stuffed = true;
+      }
+    }
     const Instruction& term = p_.at(bb.last);
     switch (term.op) {
       case Op::kCall: {
-        if (ret_sites.size() == rsb_depth_) {
+        // A refill planted at the return site repairs the underflow the
+        // outer returns would otherwise hit on the way back.
+        const bool refilled_on_return =
+            bb.last + 1 < p_.size() && p_.at(bb.last + 1).op == Op::kRsbStuff;
+        if (ret_sites.size() == rsb_depth_ && !refilled_on_return) {
           Flag(bb.last, "call depth exceeds the " + std::to_string(rsb_depth_) +
                             "-entry RSB; outer returns will underflow and "
                             "fall back to the BTB");
         }
         if (ret_sites.size() < rsb_depth_ + 2 && bb.last + 1 < p_.size()) {
           ret_sites.push_back(cfg_.BlockOf(bb.last + 1));
-          Walk(cfg_.BlockOf(term.target), std::move(ret_sites));
+          Walk(cfg_.BlockOf(term.target), std::move(ret_sites), stuffed);
         }
         break;
       }
       case Op::kRet: {
         if (ret_sites.empty()) {
-          Flag(bb.last,
-               "ret with no matching call on this path: RSB underflow predicts "
-               "from the attacker-trainable BTB (SpectreRSB)");
+          if (!stuffed) {
+            Flag(bb.last,
+                 "ret with no matching call on this path: RSB underflow predicts "
+                 "from the attacker-trainable BTB (SpectreRSB)");
+          }
         } else {
           const int32_t back = ret_sites.back();
           ret_sites.pop_back();
-          Walk(back, std::move(ret_sites));
+          Walk(back, std::move(ret_sites), stuffed);
         }
         break;
       }
       default:
         for (int32_t succ : bb.successors) {
-          Walk(succ, ret_sites);
+          Walk(succ, ret_sites, stuffed);
         }
         break;
     }
@@ -209,7 +226,7 @@ class RsbWalker {
   const Program& p_;
   const uint32_t rsb_depth_;
   AnalysisResult* result_;
-  std::set<std::pair<int32_t, size_t>> visited_;
+  std::set<std::tuple<int32_t, size_t, bool>> visited_;
   std::set<int32_t> flagged_;
 };
 

@@ -56,6 +56,10 @@ struct Finding {
   // Kind-specific companion site: the secret-producing load (V1), the
   // bypassed store (SSB), the window-opening branch, or -1.
   int32_t aux_index = -1;
+  // V1 only: the conditional branch that opened the speculative window the
+  // secret-producing load sits in (-1 when unknown). The index-masking pass
+  // reads the branch's condition register from here.
+  int32_t branch_index = -1;
   std::string detail;      // one-line human-readable explanation
 };
 

@@ -42,8 +42,8 @@ std::string JsonEscape(const std::string& s) {
 
 void AppendFindingJson(std::string& out, const Finding& f, const char* verdict) {
   Appendf(out, "{\"kind\":\"%s\",\"index\":%d,\"vaddr\":\"0x%" PRIx64
-               "\",\"aux_index\":%d,\"detail\":\"%s\"",
-          FindingKindName(f.kind), f.index, f.vaddr, f.aux_index,
+               "\",\"aux_index\":%d,\"branch_index\":%d,\"detail\":\"%s\"",
+          FindingKindName(f.kind), f.index, f.vaddr, f.aux_index, f.branch_index,
           JsonEscape(f.detail).c_str());
   if (verdict != nullptr) {
     Appendf(out, ",\"verdict\":\"%s\"", verdict);
@@ -144,6 +144,73 @@ std::string RenderCorpusJsonMulti(const std::vector<CorpusReport>& reports) {
   }
   out += "]\n";
   return out;
+}
+
+std::string RenderHardenText(const std::vector<HardenReport>& reports) {
+  std::string out;
+  for (const HardenReport& r : reports) {
+    Appendf(out, "=== harden: %s / %s ===\n", r.cpu_name.c_str(), r.pass_name.c_str());
+    Appendf(out, "%s\n", r.pass_summary.c_str());
+    for (const HardenEntry& e : r.entries) {
+      Appendf(out, "%-20s sites=%-3d added=%-3d findings %d -> %d  fixpoint=%s",
+              e.program.c_str(), e.sites, e.instructions_added, e.findings_before,
+              e.findings_after, e.fixpoint ? "ok" : "FAIL");
+      if (e.equivalence_checked) {
+        Appendf(out, "  equivalence=%s", e.equivalent ? "ok" : "FAIL");
+      }
+      if (!e.note.empty()) {
+        Appendf(out, "  (%s)", e.note.c_str());
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderHardenJson(const std::vector<HardenReport>& reports) {
+  std::string out = "[";
+  bool first_report = true;
+  for (const HardenReport& r : reports) {
+    if (!first_report) {
+      out += ",";
+    }
+    first_report = false;
+    Appendf(out, "{\"cpu\":\"%s\",\"pass\":\"%s\",\"summary\":\"%s\",\"programs\":[",
+            JsonEscape(r.cpu_name).c_str(), JsonEscape(r.pass_name).c_str(),
+            JsonEscape(r.pass_summary).c_str());
+    bool first_entry = true;
+    for (const HardenEntry& e : r.entries) {
+      if (!first_entry) {
+        out += ",";
+      }
+      first_entry = false;
+      Appendf(out, "{\"program\":\"%s\",\"sites\":%d,\"instructions_added\":%d,"
+                   "\"findings_before\":%d,\"findings_after\":%d,\"fixpoint\":%s",
+              JsonEscape(e.program).c_str(), e.sites, e.instructions_added,
+              e.findings_before, e.findings_after, e.fixpoint ? "true" : "false");
+      if (e.equivalence_checked) {
+        Appendf(out, ",\"equivalent\":%s", e.equivalent ? "true" : "false");
+      }
+      if (!e.note.empty()) {
+        Appendf(out, ",\"note\":\"%s\"", JsonEscape(e.note).c_str());
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool HardenReportsOk(const std::vector<HardenReport>& reports) {
+  for (const HardenReport& r : reports) {
+    for (const HardenEntry& e : r.entries) {
+      if (!e.fixpoint || (e.equivalence_checked && !e.equivalent)) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace specbench

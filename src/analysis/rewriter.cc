@@ -1,55 +1,149 @@
 #include "src/analysis/rewriter.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "src/isa/isa.h"
 #include "src/util/check.h"
 
 namespace specbench {
 
+void RewritePlan::InsertBefore(int32_t index, std::vector<RewriteInstr> seq) {
+  SPECBENCH_CHECK_MSG(index >= 0 && index < program_.size(),
+                      "InsertBefore index outside the program");
+  SPECBENCH_CHECK_MSG(!seq.empty(), "InsertBefore with an empty sequence");
+  inserts_[index].push_back(std::move(seq));
+}
+
+void RewritePlan::Replace(int32_t index, std::vector<RewriteInstr> seq) {
+  SPECBENCH_CHECK_MSG(index >= 0 && index < program_.size(),
+                      "Replace index outside the program");
+  SPECBENCH_CHECK_MSG(!seq.empty(), "Replace with an empty sequence");
+  const bool fresh = replacements_.emplace(index, std::move(seq)).second;
+  SPECBENCH_CHECK_MSG(fresh, "two replacements of the same instruction");
+}
+
+RewriteResult RewritePlan::Apply() const {
+  const int32_t n = program_.size();
+  std::vector<Instruction> out;
+  // index_map[i]: where an edge into original instruction i now lands.
+  // Sized n+1 so symbols bound one past the last instruction stay mappable.
+  std::vector<int32_t> index_map(static_cast<size_t>(n) + 1, 0);
+  // Pass-emitted instructions needing a fixup once index_map is complete.
+  struct SeqFixup {
+    size_t pos;        // position in `out`
+    size_t seq_start;  // position of the sequence's first instruction
+    RewriteInstr::Target target_kind;
+    bool remap_imm_vaddr;
+  };
+  std::vector<SeqFixup> seq_fixups;
+  std::vector<size_t> original_positions;  // positions of surviving originals
+  std::set<int32_t> sites;
+
+  auto emit_seq = [&](const std::vector<RewriteInstr>& seq) {
+    const size_t start = out.size();
+    for (const RewriteInstr& ri : seq) {
+      if (ri.target_kind != RewriteInstr::Target::kNone || ri.remap_imm_vaddr) {
+        seq_fixups.push_back(SeqFixup{out.size(), start, ri.target_kind, ri.remap_imm_vaddr});
+      }
+      out.push_back(ri.instr);
+    }
+  };
+
+  for (int32_t i = 0; i < n; i++) {
+    index_map[static_cast<size_t>(i)] = static_cast<int32_t>(out.size());
+    if (auto it = inserts_.find(i); it != inserts_.end()) {
+      sites.insert(i);
+      for (const std::vector<RewriteInstr>& seq : it->second) {
+        emit_seq(seq);
+      }
+    }
+    if (auto it = replacements_.find(i); it != replacements_.end()) {
+      sites.insert(i);
+      emit_seq(it->second);
+    } else {
+      original_positions.push_back(out.size());
+      out.push_back(program_.at(i));
+    }
+  }
+  index_map[static_cast<size_t>(n)] = static_cast<int32_t>(out.size());
+
+  auto new_vaddr = [&](int32_t new_index) {
+    return program_.base_vaddr() + kInstructionBytes * static_cast<uint64_t>(new_index);
+  };
+
+  // Surviving originals: remap branch targets, and code-address immediates —
+  // a kMovImm materializing the address of an original instruction must
+  // track it (function pointers stored to memory, indirect-branch targets).
+  for (size_t pos : original_positions) {
+    Instruction& in = out[pos];
+    if (in.target >= 0) {
+      SPECBENCH_CHECK(in.target <= n);
+      in.target = index_map[static_cast<size_t>(in.target)];
+    }
+    if (in.op == Op::kMovImm) {
+      const int32_t t = program_.IndexOf(static_cast<uint64_t>(in.imm));
+      if (t >= 0) {
+        in.imm = static_cast<int64_t>(new_vaddr(index_map[static_cast<size_t>(t)]));
+      }
+    }
+  }
+  // Pass-emitted instructions: resolve per their declared target semantics.
+  for (const SeqFixup& f : seq_fixups) {
+    Instruction& in = out[f.pos];
+    switch (f.target_kind) {
+      case RewriteInstr::Target::kNone:
+        break;
+      case RewriteInstr::Target::kOriginal:
+        SPECBENCH_CHECK(in.target >= 0 && in.target <= n);
+        in.target = index_map[static_cast<size_t>(in.target)];
+        break;
+      case RewriteInstr::Target::kRelative:
+        SPECBENCH_CHECK(in.target >= 0);
+        in.target = static_cast<int32_t>(f.seq_start) + in.target;
+        SPECBENCH_CHECK(in.target < static_cast<int32_t>(out.size()));
+        break;
+    }
+    if (f.remap_imm_vaddr) {
+      const int32_t t = program_.IndexOf(static_cast<uint64_t>(in.imm));
+      SPECBENCH_CHECK_MSG(t >= 0, "remap_imm_vaddr immediate outside the program");
+      in.imm = static_cast<int64_t>(new_vaddr(index_map[static_cast<size_t>(t)]));
+    }
+  }
+
+  std::map<std::string, int32_t> symbols;
+  for (const auto& [name, index] : program_.symbols()) {
+    symbols[name] = index_map[static_cast<size_t>(index)];
+  }
+
+  RewriteResult result;
+  result.inserted = static_cast<int>(out.size()) - n;
+  result.sites.assign(sites.begin(), sites.end());
+  result.index_map = std::move(index_map);
+  result.program = Program(std::move(out), program_.base_vaddr(), std::move(symbols));
+  return result;
+}
+
 RewriteResult InsertLfences(const Program& program, std::vector<int32_t> before_indices) {
-  const int32_t n = program.size();
+  RewritePlan plan(program);
   std::set<int32_t> points;
   for (int32_t i : before_indices) {
-    if (i >= 0 && i < n) {
+    // Skipping sites that already hold an lfence makes every fence-inserting
+    // policy idempotent: on a previously hardened program the branch targets
+    // have been remapped onto the fences, so the same site list resolves to
+    // lfence instructions and the plan stays empty.
+    if (i >= 0 && i < program.size() && program.at(i).op != Op::kLfence) {
       points.insert(i);
     }
   }
-
-  // label_map[i]: new index a branch/symbol pointing at original `i` should
-  // use (the fence when one is inserted there, so incoming edges are
-  // protected too).
-  std::vector<int32_t> label_map(static_cast<size_t>(n));
-  std::vector<Instruction> out;
-  out.reserve(static_cast<size_t>(n) + points.size());
-  for (int32_t i = 0; i < n; i++) {
-    if (points.count(i) != 0) {
-      Instruction fence;
-      fence.op = Op::kLfence;
-      label_map[static_cast<size_t>(i)] = static_cast<int32_t>(out.size());
-      out.push_back(fence);
-    } else {
-      label_map[static_cast<size_t>(i)] = static_cast<int32_t>(out.size());
-    }
-    out.push_back(program.at(i));
+  for (int32_t i : points) {
+    RewriteInstr fence;
+    fence.instr.op = Op::kLfence;
+    plan.InsertBefore(i, {fence});
   }
-  for (Instruction& in : out) {
-    if (in.target >= 0) {
-      SPECBENCH_CHECK(in.target < n);
-      in.target = label_map[static_cast<size_t>(in.target)];
-    }
-  }
-  std::map<std::string, int32_t> symbols;
-  for (const auto& [name, index] : program.symbols()) {
-    symbols[name] = label_map[static_cast<size_t>(index)];
-  }
-
-  RewriteResult result{Program(std::move(out), program.base_vaddr(), std::move(symbols)),
-                       std::vector<int32_t>(points.begin(), points.end()),
-                       static_cast<int>(points.size())};
-  return result;
+  return plan.Apply();
 }
 
 RewriteResult HardenTargeted(const Program& program, const AnalysisResult& analysis) {

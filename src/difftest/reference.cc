@@ -97,7 +97,8 @@ std::string DescribeArchDivergence(const ArchState& expected, const ArchState& a
   return std::string();
 }
 
-ReferenceResult RunReference(const Program& program, uint64_t max_instructions) {
+ReferenceResult RunReference(const Program& program, uint64_t max_instructions,
+                             std::vector<std::pair<uint64_t, uint64_t>>* final_memory) {
   ReferenceResult result;
   ArchState& s = result.state;
   s.trace_hash = kFnvBasis;
@@ -196,6 +197,9 @@ ReferenceResult RunReference(const Program& program, uint64_t max_instructions) 
       case Op::kBranchZ:
         next = s.regs[in.src1] == 0 ? in.target : rip + 1;
         break;
+      case Op::kBranchEqImm:
+        next = s.regs[in.src1] == static_cast<uint64_t>(in.imm) ? in.target : rip + 1;
+        break;
       case Op::kCall: {
         const uint64_t ret_vaddr = program.VaddrOf(rip + 1);
         s.regs[kRegSp] -= 8;
@@ -271,6 +275,9 @@ ReferenceResult RunReference(const Program& program, uint64_t max_instructions) 
     }
   }
   s.memory_digest = DigestMemoryWords(words);
+  if (final_memory != nullptr) {
+    *final_memory = std::move(words);
+  }
   result.ok = true;
   return result;
 }

@@ -69,7 +69,13 @@ struct ReferenceResult {
 // Executes `program` from its base vaddr. `max_instructions` bounds runaway
 // candidates (the generator only emits terminating programs, but the
 // shrinker probes arbitrary mutations).
-ReferenceResult RunReference(const Program& program, uint64_t max_instructions = 1'000'000);
+//
+// When `final_memory` is non-null it receives the sorted nonzero (addr,
+// value) words of the final architectural memory — the raw snapshot behind
+// ArchState::memory_digest, needed by consumers that compare memory
+// word-by-word instead of by digest (src/difftest/equivalence.h).
+ReferenceResult RunReference(const Program& program, uint64_t max_instructions = 1'000'000,
+                             std::vector<std::pair<uint64_t, uint64_t>>* final_memory = nullptr);
 
 }  // namespace specbench
 

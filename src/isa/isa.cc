@@ -48,6 +48,7 @@ const char* OpName(Op op) {
     case Op::kVmExit: return "vm_exit";
     case Op::kKcall: return "kcall";
     case Op::kHalt: return "halt";
+    case Op::kBranchEqImm: return "branch_eq_imm";
   }
   return "?";
 }
@@ -70,7 +71,7 @@ const char* AluOpName(AluOp op) {
 }
 
 bool ParseOpName(const char* name, Op* out) {
-  for (int i = 0; i <= static_cast<int>(Op::kHalt); i++) {
+  for (int i = 0; i <= static_cast<int>(Op::kBranchEqImm); i++) {
     const Op op = static_cast<Op>(i);
     if (std::strcmp(OpName(op), name) == 0) {
       *out = op;
@@ -91,7 +92,9 @@ bool ParseAluOpName(const char* name, AluOp* out) {
   return false;
 }
 
-bool IsConditionalBranch(Op op) { return op == Op::kBranchNz || op == Op::kBranchZ; }
+bool IsConditionalBranch(Op op) {
+  return op == Op::kBranchNz || op == Op::kBranchZ || op == Op::kBranchEqImm;
+}
 
 bool IsDirectJump(Op op) { return op == Op::kJmp || op == Op::kCall; }
 
@@ -102,6 +105,7 @@ bool IsControlFlow(Op op) {
     case Op::kJmp:
     case Op::kBranchNz:
     case Op::kBranchZ:
+    case Op::kBranchEqImm:
     case Op::kCall:
     case Op::kRet:
     case Op::kIndirectJmp:

@@ -71,6 +71,11 @@ enum class Op : uint8_t {
                   // Used by the OS substrate for semantic side effects (mmap,
                   // scheduling bookkeeping); never executed speculatively.
   kHalt,          // stop the machine
+  kBranchEqImm,   // if reg[src1] == imm then rip = target. Rewrite helper for
+                  // the Switchpoline-style pass (indirect branch -> compare
+                  // chain of direct branches). Appended after kHalt: opcode
+                  // values are folded into trace hashes, so new opcodes must
+                  // never renumber existing ones.
 };
 
 enum class AluOp : uint8_t {

@@ -39,6 +39,7 @@ StepClass ClassOf(Op op) {
     case Op::kJmp:
     case Op::kBranchNz:
     case Op::kBranchZ:
+    case Op::kBranchEqImm:
     case Op::kCall:
     case Op::kRet:
     case Op::kIndirectJmp:

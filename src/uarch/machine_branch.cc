@@ -21,10 +21,14 @@ int32_t Machine::StepBranch(const Instruction& in, uint64_t pc, uint64_t srcs_re
       now_ += cpu_.latency.branch_base;
       break;
     case Op::kBranchNz:
-    case Op::kBranchZ: {
+    case Op::kBranchZ:
+    case Op::kBranchEqImm: {
       const uint64_t resolve_at = std::max(now_, srcs_ready);
       const bool value_nz = regs_[in.src1] != 0;
-      const bool taken = in.op == Op::kBranchNz ? value_nz : !value_nz;
+      const bool taken =
+          in.op == Op::kBranchEqImm
+              ? regs_[in.src1] == static_cast<uint64_t>(in.imm)
+              : (in.op == Op::kBranchNz ? value_nz : !value_nz);
       const bool predicted_taken = frontend_.cond.Predict(pc);
       frontend_.cond.Train(pc, taken);
       if (predicted_taken == taken) {

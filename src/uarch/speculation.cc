@@ -260,7 +260,8 @@ void Machine::SpeculativeEpisodeBody(int32_t index, uint64_t t0, uint64_t budget
         next = in.target;
         break;
       case Op::kBranchNz:
-      case Op::kBranchZ: {
+      case Op::kBranchZ:
+      case Op::kBranchEqImm: {
         // Nested branches follow the predictor; no nested squash modelling.
         const uint64_t pc = program_->VaddrOf(idx);
         const bool taken = frontend_.cond.Predict(pc);

@@ -1,0 +1,100 @@
+// Byte-exact golden-file test for the `spectrebench analyze --json` report.
+//
+// The emitter promises byte-reproducible output: fixed key order, corpus
+// entries in corpus order, one report per CPU in catalog order, and no
+// timing/host fields. The fixture pins the exact bytes the CLI prints for
+// the full CPU catalog; regenerate after an intentional format, corpus or
+// detector change with
+//   SPECBENCH_REGEN_GOLDEN=1 ./analyze_golden_test
+// and review the diff. (Cross-validation replays attacks on the cycle-exact
+// simulator, so this doubles as a refactor guard over the whole
+// analyze -> replay -> report path.)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/corpus.h"
+#include "src/analysis/crossval.h"
+#include "src/analysis/detectors.h"
+#include "src/analysis/report.h"
+#include "src/cpu/cpu_model.h"
+
+namespace specbench {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return (std::filesystem::path(SPECBENCH_TEST_SOURCE_DIR) / "golden" / name).string();
+}
+
+std::string CheckAgainstGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("SPECBENCH_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    return actual;
+  }
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path
+                         << " (regenerate with SPECBENCH_REGEN_GOLDEN=1)";
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// Mirrors tools/spectrebench_cli.cc RunAnalyze with the default (full)
+// CPU list: the CLI's --json output must stay in sync with this.
+std::vector<CorpusReport> FullCatalogReports() {
+  std::vector<CorpusReport> reports;
+  for (Uarch u : AllUarches()) {
+    const CpuModel& cpu = GetCpuModel(u);
+    CorpusReport report;
+    report.cpu_name = UarchName(u);
+    for (const CorpusEntry& entry : BuildGadgetCorpus(cpu.predictor.rsb_depth)) {
+      CorpusReportEntry e;
+      e.name = entry.name;
+      e.description = entry.description;
+      e.analysis = Analyze(entry.program, cpu);
+      e.xval = CrossValidate(entry, cpu, e.analysis);
+      report.entries.push_back(std::move(e));
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+TEST(AnalyzeGolden, JsonMatchesGoldenFileByteForByte) {
+  const std::string actual = RenderCorpusJsonMulti(FullCatalogReports());
+  EXPECT_EQ(actual, CheckAgainstGolden(actual, "analyze.json"));
+}
+
+TEST(AnalyzeGolden, NoTimingOrHostFields) {
+  const std::string json = RenderCorpusJsonMulti(FullCatalogReports());
+  for (const char* forbidden : {"wall", "time", "stamp", "date", "host", "duration",
+                                "elapsed", "seconds"}) {
+    EXPECT_EQ(json.find(forbidden), std::string::npos) << "found \"" << forbidden << "\"";
+  }
+}
+
+TEST(AnalyzeGolden, RenderIsDeterministicAcrossRuns) {
+  EXPECT_EQ(RenderCorpusJsonMulti(FullCatalogReports()),
+            RenderCorpusJsonMulti(FullCatalogReports()));
+}
+
+TEST(AnalyzeGolden, OneReportPerCatalogCpuInOrder) {
+  const std::string json = RenderCorpusJsonMulti(FullCatalogReports());
+  size_t pos = 0;
+  for (Uarch u : AllUarches()) {
+    const std::string key = std::string("{\"cpu\":\"") + UarchName(u) + "\"";
+    const size_t at = json.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key;
+    pos = at;
+  }
+}
+
+}  // namespace
+}  // namespace specbench

@@ -20,13 +20,17 @@
 #include "src/analysis/corpus.h"
 #include "src/difftest/corpus.h"
 #include "src/difftest/difftest.h"
+#include "src/difftest/equivalence.h"
+#include "src/difftest/generator.h"
 #include "src/analysis/crossval.h"
 #include "src/analysis/detectors.h"
+#include "src/analysis/passes.h"
 #include "src/analysis/report.h"
 #include "src/attack/attacks.h"
 #include "src/core/counters.h"
 #include "src/core/experiments.h"
 #include "src/core/sweep_grids.h"
+#include "src/util/check.h"
 #include "src/workload/lebench.h"
 #include "src/workload/octane.h"
 
@@ -50,6 +54,9 @@ struct CliOptions {
   // difftest options.
   uint64_t seed_begin = 0;             // --seeds=A:B (B exclusive)
   uint64_t seed_end = 100;
+  bool seeds_given = false;            // harden: --seeds selects fuzz mode
+  bool cpus_given = false;             // --cpus appeared on the command line
+  std::vector<std::string> passes;     // harden: --passes=a,b (empty = all)
   uint64_t inject_alu_fault = 0;       // oracle self-check: corrupt nth ALU op
   std::string corpus_out;              // directory for shrunk reproducers
   std::string replay;                  // corpus file to replay instead
@@ -409,6 +416,177 @@ int RunAnalyze(const CliOptions& options) {
   return false_negatives == 0 ? 0 : 1;
 }
 
+std::vector<const MitigationPass*> SelectPasses(const CliOptions& options) {
+  if (options.passes.empty()) {
+    return MitigationPasses();
+  }
+  std::vector<const MitigationPass*> selected;
+  for (const std::string& name : options.passes) {
+    const MitigationPass* pass = FindMitigationPassByName(name);
+    if (pass == nullptr) {
+      std::fprintf(stderr, "unknown pass: \"%s\"\nregistered passes:\n", name.c_str());
+      for (const MitigationPass* p : MitigationPasses()) {
+        std::fprintf(stderr, "  %-18s %s\n", p->name().c_str(), p->summary().c_str());
+      }
+      std::exit(2);
+    }
+    selected.push_back(pass);
+  }
+  return selected;
+}
+
+// Corpus mode: each pass over each gadget-corpus program on each CPU, with
+// the fixpoint check and (where the reference interpreter supports the
+// program) the relocation-aware equivalence oracle.
+int RunHardenCorpus(const CliOptions& options,
+                    const std::vector<const MitigationPass*>& passes) {
+  std::vector<HardenReport> reports;
+  for (Uarch u : options.cpus) {
+    const CpuModel& cpu = GetCpuModel(u);
+    const std::vector<CorpusEntry> corpus = BuildGadgetCorpus(cpu.predictor.rsb_depth);
+    for (const MitigationPass* pass : passes) {
+      HardenReport report;
+      report.cpu_name = UarchName(u);
+      report.pass_name = pass->name();
+      report.pass_summary = pass->summary();
+      for (const CorpusEntry& entry : corpus) {
+        const PassRunReport run = RunPassToFixpoint(*pass, entry.program, cpu);
+        HardenEntry e;
+        e.program = entry.name;
+        e.sites = static_cast<int>(run.sites.size());
+        e.instructions_added = run.inserted;
+        e.findings_before = run.findings_before;
+        e.findings_after = run.findings_after;
+        e.fixpoint = run.fixpoint_ok();
+        const EquivalenceReport eq =
+            CheckRewriteEquivalence(entry.program, run.hardened, run.index_map);
+        e.equivalence_checked = eq.checked;
+        e.equivalent = eq.equivalent;
+        if (eq.checked && !eq.equivalent) {
+          e.note = eq.divergence;
+        }
+        report.entries.push_back(std::move(e));
+      }
+      reports.push_back(std::move(report));
+    }
+  }
+  if (options.json) {
+    std::printf("%s", RenderHardenJson(reports).c_str());
+  } else {
+    std::printf("%s", RenderHardenText(reports).c_str());
+  }
+  return HardenReportsOk(reports) ? 0 : 1;
+}
+
+// Fuzz mode (--seeds=A:B): every pass over the difftest generator corpus.
+// Analysis and hardening run on one CPU (the first of --cpus, defaulting to
+// Skylake Client — the most permissive vulnerability set, so every detector
+// can fire); each rewrite must hit its fixpoint and prove architectural
+// equivalence, with the hardened program additionally re-simulated on a
+// machine panel to exercise the rewritten opcode mix under speculation.
+int RunHardenFuzz(const CliOptions& options,
+                  const std::vector<const MitigationPass*>& passes) {
+  const CpuModel& cpu = options.cpus_given ? GetCpuModel(options.cpus.front())
+                                           : GetCpuModelByName("Skylake Client");
+  EquivalenceOptions eq_options;
+  eq_options.cpus = {Uarch::kSkylakeClient, Uarch::kZen3};
+  DiffConfig config_off, config_defaults;
+  SPECBENCH_CHECK(TryGetDiffConfigByName("off", &config_off));
+  SPECBENCH_CHECK(TryGetDiffConfigByName("defaults", &config_defaults));
+  eq_options.configs = {config_off, config_defaults};
+
+  struct PassTally {
+    uint64_t programs = 0;
+    uint64_t rewritten = 0;    // rewrites that actually changed the program
+    uint64_t skipped = 0;      // original outside the reference subset
+    uint64_t fixpoint_failures = 0;
+    uint64_t equivalence_failures = 0;
+    std::string first_failure;
+  };
+  std::vector<PassTally> tallies(passes.size());
+  for (uint64_t seed = options.seed_begin; seed < options.seed_end; seed++) {
+    const Program program = GenerateProgram(seed);
+    for (size_t i = 0; i < passes.size(); i++) {
+      const MitigationPass& pass = *passes[i];
+      PassTally& tally = tallies[i];
+      tally.programs++;
+      const PassRunReport run = RunPassToFixpoint(pass, program, cpu);
+      if (run.inserted != 0) {
+        tally.rewritten++;
+      }
+      if (!run.fixpoint_ok()) {
+        tally.fixpoint_failures++;
+        if (tally.first_failure.empty()) {
+          tally.first_failure = "seed " + std::to_string(seed) + ": fixpoint (" +
+                                std::to_string(run.findings_after) + " residual after " +
+                                std::to_string(run.iterations) + " round(s))";
+        }
+      }
+      const EquivalenceReport eq =
+          CheckRewriteEquivalence(program, run.hardened, run.index_map, eq_options);
+      if (!eq.checked) {
+        tally.skipped++;
+      } else if (!eq.equivalent) {
+        tally.equivalence_failures++;
+        if (tally.first_failure.empty()) {
+          tally.first_failure = "seed " + std::to_string(seed) + ": " + eq.divergence;
+        }
+      }
+    }
+  }
+
+  uint64_t failures = 0;
+  if (options.json) {
+    std::string out = "[";
+    for (size_t i = 0; i < passes.size(); i++) {
+      const PassTally& t = tallies[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"pass\":\"%s\",\"programs\":%llu,\"rewritten\":%llu,"
+                    "\"skipped\":%llu,\"fixpoint_failures\":%llu,"
+                    "\"equivalence_failures\":%llu}",
+                    i == 0 ? "" : ",", passes[i]->name().c_str(),
+                    static_cast<unsigned long long>(t.programs),
+                    static_cast<unsigned long long>(t.rewritten),
+                    static_cast<unsigned long long>(t.skipped),
+                    static_cast<unsigned long long>(t.fixpoint_failures),
+                    static_cast<unsigned long long>(t.equivalence_failures));
+      out += buf;
+      failures += t.fixpoint_failures + t.equivalence_failures;
+    }
+    out += "]\n";
+    std::printf("%s", out.c_str());
+  } else {
+    std::printf("harden fuzz: cpu=%s seeds=[%llu,%llu)\n", UarchName(cpu.uarch),
+                static_cast<unsigned long long>(options.seed_begin),
+                static_cast<unsigned long long>(options.seed_end));
+    for (size_t i = 0; i < passes.size(); i++) {
+      const PassTally& t = tallies[i];
+      std::printf("%-18s programs=%-5llu rewritten=%-5llu skipped=%-3llu "
+                  "fixpoint_failures=%llu equivalence_failures=%llu\n",
+                  passes[i]->name().c_str(),
+                  static_cast<unsigned long long>(t.programs),
+                  static_cast<unsigned long long>(t.rewritten),
+                  static_cast<unsigned long long>(t.skipped),
+                  static_cast<unsigned long long>(t.fixpoint_failures),
+                  static_cast<unsigned long long>(t.equivalence_failures));
+      if (!t.first_failure.empty()) {
+        std::printf("  first failure: %s\n", t.first_failure.c_str());
+      }
+      failures += t.fixpoint_failures + t.equivalence_failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunHarden(const CliOptions& options) {
+  const std::vector<const MitigationPass*> passes = SelectPasses(options);
+  if (options.seeds_given) {
+    return RunHardenFuzz(options, passes);
+  }
+  return RunHardenCorpus(options, passes);
+}
+
 int RunAttackSuite(const CliOptions& options) {
   std::printf("%-16s %-12s %-10s %-10s\n", "CPU", "attack", "unmitigated", "mitigated");
   int bad = 0;
@@ -468,6 +646,14 @@ void PrintUsage() {
       "  attacks      run the full attack ground-truth suite\n"
       "  analyze      static gadget analysis of the corpus, cross-validated\n"
       "               against the simulator [--json]\n"
+      "  harden       mitigation-pass framework: rewrite programs with the\n"
+      "               registered passes and verify each rewrite\n"
+      "               (analyze->harden->analyze fixpoint + architectural\n"
+      "               equivalence): [--passes=targeted-lfence,...] [--json]\n"
+      "               [--cpus=...]; default runs the gadget corpus, with\n"
+      "               --seeds=A:B runs the difftest generator corpus instead\n"
+      "               and re-simulates every hardened program on a machine\n"
+      "               panel; exit 0 iff every check passes\n"
       "  difftest     differential-execution oracle: random programs on the\n"
       "               reference interpreter vs the machine under every CPU x\n"
       "               mitigation config: [--seeds=A:B] [--cpus=...] \n"
@@ -500,6 +686,7 @@ int main(int argc, char** argv) {
       options.quiet = true;
     } else if (arg.rfind("--cpus=", 0) == 0) {
       options.cpus = ParseCpuList(arg.substr(7));
+      options.cpus_given = true;
     } else if (arg.rfind("--grids=", 0) == 0) {
       options.grids = SplitCsv(arg.substr(8));
     } else if (arg.rfind("--workloads=", 0) == 0) {
@@ -526,6 +713,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--seeds= range is empty: %s\n", arg.c_str());
         return 2;
       }
+      options.seeds_given = true;
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      options.passes = SplitCsv(arg.substr(9));
     } else if (arg.rfind("--inject-alu-fault=", 0) == 0) {
       options.inject_alu_fault = std::strtoull(arg.c_str() + 19, nullptr, 10);
     } else if (arg.rfind("--corpus-out=", 0) == 0) {
@@ -637,6 +827,9 @@ int main(int argc, char** argv) {
   }
   if (command == "attacks") {
     return RunAttackSuite(options);
+  }
+  if (command == "harden") {
+    return RunHarden(options);
   }
   if (command == "analyze") {
     return RunAnalyze(options);
