@@ -1,0 +1,147 @@
+// Simulator-throughput trajectory: times the 500-seed difftest sweep on the
+// cycle-detailed engine vs the fast path (pooled machines + decoded-trace
+// cache + sampled timing, docs/perf.md) and writes BENCH_simulator.json.
+//
+// This is the repo's first BENCH artifact: CI uploads the JSON so the
+// wall-clock trajectory of the simulator itself is tracked over time, and
+// the binary exits non-zero if the fast path falls below the contracted
+// speedup (default 5x, --min-speedup=N to override) or if the 200-seed
+// cross-validation finds any fast-vs-detailed divergence.
+//
+// Usage: bench_simulator_throughput [--out=BENCH_simulator.json]
+//                                   [--seeds=N] [--min-speedup=X]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/difftest/difftest.h"
+#include "src/uarch/decoded_trace.h"
+
+using namespace specbench;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+struct TimedReport {
+  DifftestReport report;
+  double wall_s = 0.0;
+};
+
+TimedReport TimeDifftest(uint64_t seeds, bool fast) {
+  DifftestOptions options;
+  options.seed_begin = 0;
+  options.seed_end = seeds;
+  options.jobs = 1;  // single-threaded: measure engine throughput, not the pool
+  options.shrink = false;
+  options.fast = fast;
+  const auto begin = std::chrono::steady_clock::now();
+  TimedReport timed;
+  timed.report = RunDifftest(options);
+  timed.wall_s = Seconds(begin, std::chrono::steady_clock::now());
+  return timed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_simulator.json";
+  uint64_t seeds = 500;
+  double min_speedup = 5.0;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      min_speedup = std::strtod(arg.c_str() + 14, nullptr);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=FILE] [--seeds=N] [--min-speedup=X]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Detailed baseline: fresh machine per cell, full cycle accounting.
+  const TimedReport detailed = TimeDifftest(seeds, /*fast=*/false);
+  if (!detailed.report.ok()) {
+    std::fprintf(stderr, "detailed difftest diverged:\n%s", detailed.report.ToText().c_str());
+    return 1;
+  }
+
+  // Fast path, with trace-cache stats isolated to this sweep.
+  TraceCache::Global().Clear();
+  TraceCache::Global().ResetStats();
+  const TimedReport fast = TimeDifftest(seeds, /*fast=*/true);
+  const TraceCache::Stats cache = TraceCache::Global().stats();
+  if (!fast.report.ok()) {
+    std::fprintf(stderr, "fast difftest diverged:\n%s", fast.report.ToText().c_str());
+    return 1;
+  }
+
+  // Cross-validation: every fast cell re-checked against the detailed
+  // engine on 200 fresh seeds. The speedup number is only meaningful while
+  // this stays green.
+  DifftestOptions xval;
+  xval.seed_begin = 0;
+  xval.seed_end = 200;
+  xval.jobs = 0;
+  xval.shrink = false;
+  xval.fast = true;
+  xval.cross_validate = true;
+  const DifftestReport xval_report = RunDifftest(xval);
+  if (!xval_report.ok()) {
+    std::fprintf(stderr, "fast-vs-detailed cross-validation failed:\n%s",
+                 xval_report.ToText().c_str());
+    return 1;
+  }
+
+  const double speedup = detailed.wall_s / fast.wall_s;
+  const double cells = static_cast<double>(fast.report.executions);
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"bench\": \"simulator_throughput\",\n"
+      "  \"seeds\": %llu,\n"
+      "  \"cells\": %llu,\n"
+      "  \"detailed_wall_s\": %.3f,\n"
+      "  \"fast_wall_s\": %.3f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"detailed_instrs_per_s\": %.0f,\n"
+      "  \"fast_instrs_per_s\": %.0f,\n"
+      "  \"detailed_cells_per_s\": %.0f,\n"
+      "  \"fast_cells_per_s\": %.0f,\n"
+      "  \"trace_cache\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.3f},\n"
+      "  \"cross_validation\": {\"seeds\": 200, \"divergences\": %llu}\n"
+      "}\n",
+      static_cast<unsigned long long>(seeds),
+      static_cast<unsigned long long>(fast.report.executions), detailed.wall_s, fast.wall_s,
+      speedup, static_cast<double>(detailed.report.retired_instructions) / detailed.wall_s,
+      static_cast<double>(fast.report.retired_instructions) / fast.wall_s,
+      cells / detailed.wall_s, cells / fast.wall_s,
+      static_cast<unsigned long long>(cache.hits), static_cast<unsigned long long>(cache.misses),
+      cache.hit_rate(), static_cast<unsigned long long>(xval_report.divergences.size()));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("%s", json);
+
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the %.1fx floor\n", speedup, min_speedup);
+    return 1;
+  }
+  std::printf("OK: fast path %.2fx faster than detailed (floor %.1fx)\n", speedup, min_speedup);
+  return 0;
+}

@@ -115,14 +115,15 @@ Cfg Cfg::Build(const Program& program) {
 std::string Cfg::Dump() const {
   std::string out;
   for (const BasicBlock& bb : blocks_) {
-    out += "B" + std::to_string(bb.id) + " [" + std::to_string(bb.first) + ".." +
-           std::to_string(bb.last) + "]";
+    out.append("B").append(std::to_string(bb.id)).append(" [");
+    out.append(std::to_string(bb.first)).append("..").append(std::to_string(bb.last));
+    out.append("]");
     if (bb.is_entry) {
       out += " entry";
     }
     out += " ->";
     for (int32_t s : bb.successors) {
-      out += " B" + std::to_string(s);
+      out.append(" B").append(std::to_string(s));
     }
     if (bb.has_indirect_successor) {
       out += " (indirect)";

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "src/difftest/difftest.h"
+#include "src/difftest/generator.h"
+#include "src/difftest/reference.h"
 #include "src/util/rng.h"
 #include "src/workload/lebench.h"
 #include "src/workload/octane.h"
@@ -133,6 +136,51 @@ std::vector<ParsecDefaultResult> ParsecResultsFromSweep(const SweepResult& resul
     results.push_back(std::move(r));
   }
   return results;
+}
+
+Sweep BuildDifftestGrid(const DifftestGridOptions& options) {
+  Sweep sweep;
+  for (Uarch u : options.cpus) {
+    for (const DiffConfig& config : DefaultDiffConfigs()) {
+      sweep.Add(
+          SweepCellKey{UarchName(u), config.name, "difftest"},
+          [u, config, begin = options.seed_begin, end = options.seed_end, fast = options.fast,
+           max_instructions = options.max_instructions](uint64_t) {
+            // The oracle seeds are the cell's content, not sampling noise:
+            // the cell ignores the runner-derived seed so its output bytes
+            // depend only on (cpus, configs, seed window, max_instructions)
+            // — identical for any --jobs value and for fast vs detailed.
+            const CpuModel& cpu = GetCpuModel(u);
+            uint64_t divergences = 0;
+            uint64_t retired = 0;
+            for (uint64_t seed = begin; seed < end; seed++) {
+              const Program program = GenerateProgram(seed, GeneratorOptions{});
+              const ReferenceResult ref = RunReference(program, max_instructions);
+              if (!ref.ok) {
+                divergences++;
+                continue;
+              }
+              const ArchState got = fast
+                                        ? RunMachineArchFast(program, cpu, config,
+                                                             max_instructions)
+                                        : RunMachineArch(program, cpu, config, max_instructions);
+              retired += got.retired;
+              if (!(got == ref.state)) {
+                divergences++;
+              }
+            }
+            CellOutput out;
+            out.metrics.push_back(
+                CellMetric{"divergences", "Oracle divergences",
+                           Estimate{static_cast<double>(divergences), 0.0}});
+            out.metrics.push_back(CellMetric{
+                "retired", "Instructions retired", Estimate{static_cast<double>(retired), 0.0}});
+            out.samples = static_cast<size_t>(end - begin);
+            return out;
+          });
+    }
+  }
+  return sweep;
 }
 
 // --- Runner-backed experiment drivers (declared in experiments.h) -----------

@@ -28,6 +28,21 @@ Sweep BuildFigure3Grid(const GridOptions& options);
 // Section 4.5: one default-vs-off cell per (CPU, PARSEC kernel).
 Sweep BuildSection45Grid(const GridOptions& options);
 
+// Differential-execution oracle as a sweep: one cell per (CPU × difftest
+// config), each running every seed in [seed_begin, seed_end) against the
+// reference interpreter and reporting divergence / retired-instruction
+// counts. With fast=true the cell uses the pooled-machine sampled-timing
+// engine (docs/perf.md) — the cell *output* must be byte-identical either
+// way, which is what the CI determinism check pins.
+struct DifftestGridOptions {
+  std::vector<Uarch> cpus = AllUarches();
+  uint64_t seed_begin = 0;
+  uint64_t seed_end = 100;  // exclusive
+  bool fast = false;
+  uint64_t max_instructions = 1'000'000;
+};
+Sweep BuildDifftestGrid(const DifftestGridOptions& options);
+
 // Flattens an attribution report into cell metrics (segments + "total").
 CellOutput CellOutputFromAttribution(const AttributionReport& report);
 

@@ -9,6 +9,7 @@
 #include "src/os/mitigation_config.h"
 #include "src/runner/thread_pool.h"
 #include "src/uarch/machine.h"
+#include "src/uarch/machine_pool.h"
 #include "src/util/check.h"
 
 namespace specbench {
@@ -21,21 +22,31 @@ std::string ShellArg(const std::string& arg) {
   if (arg.find(' ') == std::string::npos) {
     return arg;
   }
-  return "'" + arg + "'";
+  std::string quoted = "'";
+  quoted += arg;
+  quoted += '\'';
+  return quoted;
 }
 
 std::string ReproCommandLine(uint64_t seed, const std::string& cpu, const std::string& config,
-                             uint64_t inject_alu_fault_after) {
+                             uint64_t inject_alu_fault_after, bool fast = false) {
   std::ostringstream out;
   out << "spectrebench difftest --seeds=" << seed << ":" << seed + 1;
   if (!cpu.empty() && cpu != "-") {
-    out << " " << ShellArg("--cpus=" + cpu);
+    std::string flag = "--cpus=";
+    flag += cpu;
+    out << " " << ShellArg(flag);
   }
   if (!config.empty() && config != "-") {
-    out << " " << ShellArg("--configs=" + config);
+    std::string flag = "--configs=";
+    flag += config;
+    out << " " << ShellArg(flag);
   }
   if (inject_alu_fault_after != 0) {
     out << " --inject-alu-fault=" << inject_alu_fault_after;
+  }
+  if (fast) {
+    out << " --fast";
   }
   return out.str();
 }
@@ -57,6 +68,7 @@ void ApplyDiffConfig(Machine* m, const DiffConfig& config) {
 // Per-seed result slot: written by exactly one task, merged in seed order.
 struct SeedResult {
   uint64_t executions = 0;
+  uint64_t retired = 0;
   std::vector<Divergence> divergences;
 };
 
@@ -83,9 +95,14 @@ bool TryGetDiffConfigByName(const std::string& name, DiffConfig* out) {
   return false;
 }
 
-ArchState RunMachineArch(const Program& program, const CpuModel& cpu, const DiffConfig& config,
-                         uint64_t max_instructions, uint64_t inject_alu_fault_after) {
-  Machine m(cpu);
+namespace {
+
+// Shared tail of both RunMachineArch variants: set up the program, the
+// config and the trace hook, run via `run`, drain, and collect the canonical
+// architectural end state.
+template <typename RunFn>
+ArchState RunArchOn(Machine& m, const Program& program, const DiffConfig& config,
+                    uint64_t inject_alu_fault_after, RunFn run) {
   m.LoadProgram(&program);
   ApplyDiffConfig(&m, config);
   if (inject_alu_fault_after != 0) {
@@ -99,9 +116,7 @@ ArchState RunMachineArch(const Program& program, const CpuModel& cpu, const Diff
     state.trace_hash = FoldTraceHash(state.trace_hash, record.index, record.op);
   });
 
-  // RunPartial: exhausting the budget is a reportable outcome (halted=false
-  // diverges from the reference), not a SPECBENCH_CHECK abort like Run.
-  const Machine::RunResult run = m.RunPartial(program.base_vaddr(), max_instructions);
+  const Machine::RunResult result = run(m);
   m.DrainPipeline();
   m.DrainStoreBuffer();
 
@@ -111,9 +126,32 @@ ArchState RunMachineArch(const Program& program, const CpuModel& cpu, const Diff
   for (uint8_t r = 0; r < kNumFpRegs; r++) {
     state.fpregs[r] = m.fpreg(r);
   }
-  state.halted = run.halted;
+  state.halted = result.halted;
   state.memory_digest = DigestMemoryWords(m.physical_memory().SortedNonZeroWords());
+  // The hook captures stack state; detach it before the machine outlives the
+  // frame (pooled machines are reused, and Reset would clear it anyway).
+  m.SetTraceHook(nullptr);
   return state;
+}
+
+}  // namespace
+
+ArchState RunMachineArch(const Program& program, const CpuModel& cpu, const DiffConfig& config,
+                         uint64_t max_instructions, uint64_t inject_alu_fault_after) {
+  Machine m(cpu);
+  // RunPartial: exhausting the budget is a reportable outcome (halted=false
+  // diverges from the reference), not a SPECBENCH_CHECK abort like Run.
+  return RunArchOn(m, program, config, inject_alu_fault_after, [&](Machine& machine) {
+    return machine.RunPartial(program.base_vaddr(), max_instructions);
+  });
+}
+
+ArchState RunMachineArchFast(const Program& program, const CpuModel& cpu, const DiffConfig& config,
+                             uint64_t max_instructions, uint64_t inject_alu_fault_after) {
+  Machine& m = MachinePool::ThreadLocal().Acquire(cpu);
+  return RunArchOn(m, program, config, inject_alu_fault_after, [&](Machine& machine) {
+    return machine.RunSampled(program.base_vaddr(), max_instructions, Machine::FastForwardPlan{});
+  });
 }
 
 DifftestReport RunDifftest(const DifftestOptions& options) {
@@ -130,9 +168,10 @@ DifftestReport RunDifftest(const DifftestOptions& options) {
     if (!ref.ok) {
       Divergence d;
       d.seed = seed;
-      d.cpu = "-";
-      d.config = "-";
-      d.detail = "reference: " + ref.error;
+      d.cpu = '-';
+      d.config = '-';
+      d.detail = "reference: ";
+      d.detail += ref.error;
       d.repro = ReproCommandLine(seed, "-", "-", options.inject_alu_fault_after);
       slot->divergences.push_back(std::move(d));
       return;
@@ -140,9 +179,32 @@ DifftestReport RunDifftest(const DifftestOptions& options) {
     for (Uarch u : cpus) {
       const CpuModel& cpu = GetCpuModel(u);
       for (const DiffConfig& config : configs) {
-        const ArchState got = RunMachineArch(program, cpu, config, options.max_instructions,
-                                             options.inject_alu_fault_after);
+        const ArchState got =
+            options.fast ? RunMachineArchFast(program, cpu, config, options.max_instructions,
+                                              options.inject_alu_fault_after)
+                         : RunMachineArch(program, cpu, config, options.max_instructions,
+                                          options.inject_alu_fault_after);
         slot->executions++;
+        slot->retired += got.retired;
+        if (options.fast && options.cross_validate) {
+          // Prove the sampling contract on this exact cell: the detailed
+          // engine must land on the same architectural end state.
+          const ArchState detailed = RunMachineArch(program, cpu, config, options.max_instructions,
+                                                    options.inject_alu_fault_after);
+          slot->executions++;
+          if (!(got == detailed)) {
+            Divergence d;
+            d.seed = seed;
+            d.cpu = UarchName(u);
+            d.config = config.name;
+            d.detail = "fast-path: ";
+            d.detail += DescribeArchDivergence(detailed, got);
+            d.repro = ReproCommandLine(seed, d.cpu, d.config, options.inject_alu_fault_after,
+                                       /*fast=*/true);
+            d.repro += " --cross-validate";
+            slot->divergences.push_back(std::move(d));
+          }
+        }
         if (got == ref.state) {
           continue;
         }
@@ -151,15 +213,19 @@ DifftestReport RunDifftest(const DifftestOptions& options) {
         d.cpu = UarchName(u);
         d.config = config.name;
         d.detail = DescribeArchDivergence(ref.state, got);
-        d.repro = ReproCommandLine(seed, d.cpu, d.config, options.inject_alu_fault_after);
+        d.repro =
+            ReproCommandLine(seed, d.cpu, d.config, options.inject_alu_fault_after, options.fast);
         if (options.shrink) {
           auto still_fails = [&](const Program& candidate) {
             const ReferenceResult r = RunReference(candidate, options.max_instructions);
             if (!r.ok) {
               return false;  // invalid candidate: would abort the machine
             }
-            const ArchState g = RunMachineArch(candidate, cpu, config, options.max_instructions,
-                                               options.inject_alu_fault_after);
+            const ArchState g =
+                options.fast ? RunMachineArchFast(candidate, cpu, config, options.max_instructions,
+                                                  options.inject_alu_fault_after)
+                             : RunMachineArch(candidate, cpu, config, options.max_instructions,
+                                              options.inject_alu_fault_after);
             return !(g == r.state);
           };
           d.shrunk = ShrinkProgram(program, still_fails);
@@ -184,6 +250,7 @@ DifftestReport RunDifftest(const DifftestOptions& options) {
   report.programs = count;
   for (SeedResult& slot : slots) {
     report.executions += slot.executions;
+    report.retired_instructions += slot.retired;
     for (Divergence& d : slot.divergences) {
       report.divergences.push_back(std::move(d));
     }

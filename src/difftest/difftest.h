@@ -51,6 +51,14 @@ bool TryGetDiffConfigByName(const std::string& name, DiffConfig* out);
 ArchState RunMachineArch(const Program& program, const CpuModel& cpu, const DiffConfig& config,
                          uint64_t max_instructions, uint64_t inject_alu_fault_after = 0);
 
+// Fast-path variant: reuses a pooled machine (uarch::MachinePool) and runs
+// with sampled timing (Machine::RunSampled) — functional fast-forward
+// stretches between cycle-detailed windows. The architectural end state is
+// contractually identical to RunMachineArch (docs/perf.md); cycle counts and
+// PMCs are estimates and are excluded from ArchState on purpose.
+ArchState RunMachineArchFast(const Program& program, const CpuModel& cpu, const DiffConfig& config,
+                             uint64_t max_instructions, uint64_t inject_alu_fault_after = 0);
+
 struct DifftestOptions {
   uint64_t seed_begin = 0;
   uint64_t seed_end = 100;            // exclusive
@@ -61,6 +69,12 @@ struct DifftestOptions {
   int jobs = 1;                       // worker threads (0 = hardware)
   uint64_t inject_alu_fault_after = 0;  // fault every machine run (self-check)
   bool shrink = true;                 // minimize diverging programs
+  bool fast = false;                  // pooled machines + sampled timing
+  // With fast: additionally run the detailed engine for every cell and
+  // demand the same ArchState; mismatches are reported as "fast-path:"
+  // divergences. The CI fuzz job runs this mode to prove the sampling
+  // contract on live seeds.
+  bool cross_validate = false;
 };
 
 struct Divergence {
@@ -76,6 +90,7 @@ struct Divergence {
 struct DifftestReport {
   uint64_t programs = 0;    // seeds generated and executed
   uint64_t executions = 0;  // machine runs (programs × cpus × configs)
+  uint64_t retired_instructions = 0;  // total retired across machine runs
   std::vector<Divergence> divergences;  // seed-major order, deterministic
 
   bool ok() const { return divergences.empty(); }

@@ -8,7 +8,37 @@ Program::Program(std::vector<Instruction> instructions, uint64_t base_vaddr,
                  std::map<std::string, int32_t> symbols)
     : instructions_(std::move(instructions)),
       base_vaddr_(base_vaddr),
-      symbols_(std::move(symbols)) {}
+      symbols_(std::move(symbols)) {
+  ComputeDigest();
+}
+
+void Program::ComputeDigest() {
+  // FNV-1a, field by field, so two programs share a digest exactly when they
+  // execute identically (same opcodes, operands, immediates, addressing,
+  // branch targets, base address).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto fold = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; byte++) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  fold(base_vaddr_);
+  fold(static_cast<uint64_t>(instructions_.size()));
+  for (const Instruction& in : instructions_) {
+    fold(static_cast<uint64_t>(in.op));
+    fold(static_cast<uint64_t>(in.alu));
+    fold(static_cast<uint64_t>(in.dst) | (static_cast<uint64_t>(in.src1) << 8) |
+         (static_cast<uint64_t>(in.src2) << 16) |
+         (static_cast<uint64_t>(in.use_imm) << 24));
+    fold(static_cast<uint64_t>(in.imm));
+    fold(static_cast<uint64_t>(in.mem.base) | (static_cast<uint64_t>(in.mem.index) << 8) |
+         (static_cast<uint64_t>(in.mem.scale) << 16));
+    fold(static_cast<uint64_t>(in.mem.disp));
+    fold(static_cast<uint64_t>(in.target));
+  }
+  digest_ = h;
+}
 
 uint64_t Program::VaddrOf(int32_t index) const {
   SPECBENCH_CHECK(index >= 0 && index <= size());

@@ -20,7 +20,7 @@ inline constexpr uint64_t kInstructionBytes = 4;
 
 class Program {
  public:
-  Program() = default;
+  Program() { ComputeDigest(); }
   Program(std::vector<Instruction> instructions, uint64_t base_vaddr,
           std::map<std::string, int32_t> symbols);
 
@@ -42,10 +42,21 @@ class Program {
   // All exported symbols, name -> instruction index (analyzer entry points).
   const std::map<std::string, int32_t>& symbols() const { return symbols_; }
 
+  // FNV-1a over every execution-relevant instruction field plus the base
+  // address — the decoded-trace cache key (src/uarch/decoded_trace.h).
+  // Computed eagerly at construction so concurrent sweep cells can hash the
+  // same immutable Program without synchronization. Attribution tags
+  // (Instruction::cause) and symbols are deliberately excluded: they never
+  // affect what executes.
+  uint64_t Digest() const { return digest_; }
+
  private:
+  void ComputeDigest();
+
   std::vector<Instruction> instructions_;
   uint64_t base_vaddr_ = kDefaultCodeBase;
   std::map<std::string, int32_t> symbols_;
+  uint64_t digest_ = 0;
 };
 
 // Label handle produced by ProgramBuilder::NewLabel.

@@ -167,6 +167,14 @@ std::string SweepResult::ToJson() const {
   return out.str();
 }
 
+double SweepResult::total_wall_ms() const {
+  double total = 0.0;
+  for (const SweepCellResult& cell : cells) {
+    total += cell.wall_ms;
+  }
+  return total;
+}
+
 std::string SweepResult::ToCsv() const {
   std::vector<std::vector<std::string>> rows;
   for (const SweepCellResult& cell : cells) {

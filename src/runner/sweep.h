@@ -86,6 +86,10 @@ struct SweepResult {
   uint64_t base_seed = 0;
   std::vector<SweepCellResult> cells;  // registration order
 
+  // Sum of per-cell wall times in milliseconds. Timing telemetry only
+  // (stderr, BENCH JSON) — never part of the deterministic emitters.
+  double total_wall_ms() const;
+
   // Per-CPU geometric-mean rollup of `metric_id` across the selected cells,
   // treating each value as an overhead percentage. Cells lacking the metric
   // (or with a ratio <= 0, for which a geomean is undefined) are skipped.

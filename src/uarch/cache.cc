@@ -32,7 +32,7 @@ bool Cache::Access(uint64_t paddr) {
 
   for (uint32_t w = 0; w < geometry_.ways; w++) {
     Way& way = base[w];
-    if (way.valid && way.tag == line) {
+    if (way.gen == gen_ && way.tag == line) {
       way.lru = tick_;
       hits_++;
       return true;
@@ -43,7 +43,7 @@ bool Cache::Access(uint64_t paddr) {
   Way* victim = base;
   for (uint32_t w = 0; w < geometry_.ways; w++) {
     Way& way = base[w];
-    if (!way.valid) {
+    if (way.gen != gen_) {
       victim = &way;
       break;
     }
@@ -52,7 +52,7 @@ bool Cache::Access(uint64_t paddr) {
     }
   }
   misses_++;
-  victim->valid = true;
+  victim->gen = gen_;
   victim->tag = line;
   victim->lru = tick_;
   return false;
@@ -63,7 +63,7 @@ bool Cache::Contains(uint64_t paddr) const {
   const uint32_t set = static_cast<uint32_t>(line & (num_sets_ - 1));
   const Way* base = &ways_[static_cast<size_t>(set) * geometry_.ways];
   for (uint32_t w = 0; w < geometry_.ways; w++) {
-    if (base[w].valid && base[w].tag == line) {
+    if (base[w].gen == gen_ && base[w].tag == line) {
       return true;
     }
   }
@@ -75,16 +75,23 @@ void Cache::EvictLine(uint64_t paddr) {
   const uint32_t set = static_cast<uint32_t>(line & (num_sets_ - 1));
   Way* base = &ways_[static_cast<size_t>(set) * geometry_.ways];
   for (uint32_t w = 0; w < geometry_.ways; w++) {
-    if (base[w].valid && base[w].tag == line) {
-      base[w].valid = false;
+    if (base[w].gen == gen_ && base[w].tag == line) {
+      base[w].gen = 0;
     }
   }
 }
 
 void Cache::FlushAll() {
   for (Way& way : ways_) {
-    way.valid = false;
+    way.gen = 0;
   }
+}
+
+void Cache::Reset() {
+  gen_++;
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
 }
 
 CacheHierarchy::CacheHierarchy(const CpuModel& cpu)
@@ -130,6 +137,12 @@ void CacheHierarchy::FlushAll() {
   l3_.FlushAll();
 }
 
+void CacheHierarchy::Reset() {
+  l1_.Reset();
+  l2_.Reset();
+  l3_.Reset();
+}
+
 Tlb::Tlb(uint32_t entries, uint32_t ways) : ways_(ways) {
   SPECBENCH_CHECK(ways > 0 && entries >= ways);
   num_sets_ = entries / ways;
@@ -143,7 +156,7 @@ bool Tlb::Access(uint64_t page, uint64_t asid) {
   tick_++;
   for (uint32_t w = 0; w < ways_; w++) {
     Entry& e = base[w];
-    if (e.valid && e.page == page && e.asid == asid) {
+    if (e.gen == gen_ && e.page == page && e.asid == asid) {
       e.lru = tick_;
       hits_++;
       return true;
@@ -152,7 +165,7 @@ bool Tlb::Access(uint64_t page, uint64_t asid) {
   Entry* victim = base;
   for (uint32_t w = 0; w < ways_; w++) {
     Entry& e = base[w];
-    if (!e.valid) {
+    if (e.gen != gen_) {
       victim = &e;
       break;
     }
@@ -161,7 +174,7 @@ bool Tlb::Access(uint64_t page, uint64_t asid) {
     }
   }
   misses_++;
-  victim->valid = true;
+  victim->gen = gen_;
   victim->page = page;
   victim->asid = asid;
   victim->lru = tick_;
@@ -172,7 +185,7 @@ bool Tlb::Contains(uint64_t page, uint64_t asid) const {
   const uint32_t set = static_cast<uint32_t>(page & (num_sets_ - 1));
   const Entry* base = &entries_[static_cast<size_t>(set) * ways_];
   for (uint32_t w = 0; w < ways_; w++) {
-    if (base[w].valid && base[w].page == page && base[w].asid == asid) {
+    if (base[w].gen == gen_ && base[w].page == page && base[w].asid == asid) {
       return true;
     }
   }
@@ -181,16 +194,23 @@ bool Tlb::Contains(uint64_t page, uint64_t asid) const {
 
 void Tlb::FlushAll() {
   for (Entry& e : entries_) {
-    e.valid = false;
+    e.gen = 0;
   }
 }
 
 void Tlb::FlushAsid(uint64_t asid) {
   for (Entry& e : entries_) {
-    if (e.asid == asid) {
-      e.valid = false;
+    if (e.gen == gen_ && e.asid == asid) {
+      e.gen = 0;
     }
   }
+}
+
+void Tlb::Reset() {
+  gen_++;
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
 }
 
 FillBuffers::FillBuffers(uint32_t entries) : ring_(entries) {
@@ -206,6 +226,11 @@ void FillBuffers::Clear() {
   for (Fill& f : ring_) {
     f.valid = false;
   }
+}
+
+void FillBuffers::Reset() {
+  Clear();
+  next_ = 0;
 }
 
 bool FillBuffers::empty() const {
@@ -290,6 +315,8 @@ std::vector<StoreBuffer::Entry> StoreBuffer::DrainAll() {
   entries_.clear();
   return drained;
 }
+
+void StoreBuffer::Clear() { entries_.clear(); }
 
 const StoreBuffer::Entry* StoreBuffer::FindNewest(uint64_t paddr) const {
   const uint64_t word = AlignWord(paddr);

@@ -28,6 +28,10 @@ class Cache {
   bool Contains(uint64_t paddr) const;
   void EvictLine(uint64_t paddr);
   void FlushAll();
+  // As-new state (empty cache, zeroed stats) in O(1): bumps the generation
+  // counter instead of touching every way, so Machine::Reset stays cheap even
+  // for a multi-megabyte L3.
+  void Reset();
 
   uint32_t latency() const { return geometry_.latency_cycles; }
   uint64_t hits() const { return hits_; }
@@ -37,7 +41,11 @@ class Cache {
   struct Way {
     uint64_t tag = 0;
     uint64_t lru = 0;
-    bool valid = false;
+    // A way is valid iff gen == Cache::gen_. Reset() bumps gen_, which
+    // invalidates every way without writing them; 0 never equals gen_
+    // (gen_ starts at 1 and only increments), so EvictLine can still
+    // invalidate a single way by zeroing its gen.
+    uint64_t gen = 0;
   };
 
   uint64_t LineOf(uint64_t paddr) const { return paddr / geometry_.line_bytes; }
@@ -45,6 +53,7 @@ class Cache {
   CacheGeometry geometry_;
   uint32_t num_sets_;
   std::vector<Way> ways_;  // num_sets_ * geometry_.ways
+  uint64_t gen_ = 1;
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
@@ -63,6 +72,8 @@ class CacheHierarchy {
   void Clflush(uint64_t paddr);
   void FlushL1();
   void FlushAll();
+  // As-new hierarchy (all levels empty, stats zeroed) in O(1).
+  void Reset();
 
   const Cache& l1() const { return l1_; }
   const Cache& l2() const { return l2_; }
@@ -87,6 +98,8 @@ class Tlb {
   void FlushAll();
   // Flush entries of one address space (INVPCID-style).
   void FlushAsid(uint64_t asid);
+  // As-new state (empty TLB, zeroed stats) in O(1), like Cache::Reset.
+  void Reset();
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -96,12 +109,14 @@ class Tlb {
     uint64_t page = 0;
     uint64_t asid = 0;
     uint64_t lru = 0;
-    bool valid = false;
+    // Valid iff gen == Tlb::gen_ (same generation scheme as Cache::Way).
+    uint64_t gen = 0;
   };
 
   uint32_t num_sets_;
   uint32_t ways_;
   std::vector<Entry> entries_;
+  uint64_t gen_ = 1;
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
@@ -116,6 +131,9 @@ class FillBuffers {
 
   void RecordFill(uint64_t paddr, uint64_t value);
   void Clear();
+  // As-new state: Clear() plus ring cursor back to slot 0, so a reused
+  // machine fills entries in the same order as a fresh one.
+  void Reset();
   bool empty() const;
   // Stale value selection for an MDS-style sampling load; `salt` picks the
   // entry (attacks cannot target addresses, per the paper §3.3).
@@ -160,6 +178,9 @@ class StoreBuffer {
   std::vector<Entry> DrainResolved(uint64_t now);
   // Removes and returns everything (fences, context switches).
   std::vector<Entry> DrainAll();
+  // Discards all entries without returning them (machine reset; the caller
+  // is abandoning the run, so nothing retires to memory).
+  void Clear();
 
   // Newest entry matching `paddr`, or nullptr.
   const Entry* FindNewest(uint64_t paddr) const;

@@ -1,0 +1,159 @@
+#include "src/uarch/decoded_trace.h"
+
+namespace specbench {
+
+StepClass ClassOf(Op op) {
+  switch (op) {
+    case Op::kNop:
+    case Op::kMovImm:
+    case Op::kMov:
+    case Op::kAlu:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kCmov:
+    case Op::kLea:
+    case Op::kPause:
+    case Op::kRdtsc:
+    case Op::kRdpmc:
+    case Op::kFpOp:
+    case Op::kFpToGp:
+    case Op::kGpToFp:
+      return StepClass::kCompute;
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kClflush:
+      return StepClass::kMemory;
+    case Op::kJmp:
+    case Op::kBranchNz:
+    case Op::kBranchZ:
+    case Op::kBranchEqImm:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kIndirectJmp:
+    case Op::kIndirectCall:
+      return StepClass::kBranch;
+    case Op::kLfence:
+    case Op::kMfence:
+    case Op::kSyscall:
+    case Op::kSysret:
+    case Op::kSwapgs:
+    case Op::kMovCr3:
+    case Op::kVerw:
+    case Op::kWrmsr:
+    case Op::kRdmsr:
+    case Op::kFlushL1d:
+    case Op::kRsbStuff:
+    case Op::kXsave:
+    case Op::kXrstor:
+    case Op::kCpuid:
+    case Op::kVmEnter:
+    case Op::kVmExit:
+    case Op::kKcall:
+    case Op::kHalt:
+      return StepClass::kSystem;
+  }
+  return StepClass::kSystem;
+}
+
+namespace {
+
+// The scoreboard's source-register selection, precomputed per instruction.
+// This is the single definition of "which ready_at cycles gate issue"; the
+// Machine consumes the decoded form.
+DecodedOp DecodeOne(const Instruction& instr) {
+  DecodedOp decoded;
+  decoded.cls = ClassOf(instr.op);
+  const auto consider = [&decoded](uint8_t r) {
+    if (r != kNoReg) {
+      decoded.srcs[decoded.num_srcs++] = r;
+    }
+  };
+  switch (instr.op) {
+    case Op::kLoad:
+    case Op::kLea:
+    case Op::kClflush:
+      consider(instr.mem.base);
+      consider(instr.mem.index);
+      break;
+    case Op::kStore:
+      consider(instr.mem.base);
+      consider(instr.mem.index);
+      consider(instr.src1);
+      break;
+    case Op::kCmov:
+      consider(instr.dst);
+      consider(instr.src1);
+      consider(instr.src2);
+      break;
+    default:
+      consider(instr.src1);
+      if (!instr.use_imm) {
+        consider(instr.src2);
+      }
+      break;
+  }
+  return decoded;
+}
+
+}  // namespace
+
+DecodedTrace::DecodedTrace(const Program& program, Uarch uarch)
+    : program_digest_(program.Digest()), uarch_(uarch) {
+  ops_.reserve(static_cast<size_t>(program.size()));
+  for (int32_t i = 0; i < program.size(); i++) {
+    ops_.push_back(DecodeOne(program.at(i)));
+  }
+}
+
+TraceCache& TraceCache::Global() {
+  static TraceCache* cache = new TraceCache;
+  return *cache;
+}
+
+std::shared_ptr<const DecodedTrace> TraceCache::Acquire(const Program& program,
+                                                        Uarch uarch) {
+  const std::pair<uint64_t, Uarch> key{program.Digest(), uarch};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    // Digest collisions aside (64-bit FNV over every field), a same-digest
+    // program of a different length would be a decode of the wrong program;
+    // treat it as a miss and overwrite.
+    if (it != entries_.end() && it->second->size() == program.size()) {
+      hits_++;
+      return it->second;
+    }
+  }
+  // Decode outside the lock: concurrent sweep cells decoding different
+  // programs must not serialize on each other.
+  auto trace = std::make_shared<const DecodedTrace>(program, uarch);
+  std::lock_guard<std::mutex> lock(mu_);
+  misses_++;
+  if (entries_.size() >= kMaxEntries) {
+    entries_.clear();
+  }
+  entries_[key] = trace;
+  return trace;
+}
+
+TraceCache::Stats TraceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+void TraceCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void TraceCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace specbench

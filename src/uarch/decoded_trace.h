@@ -1,0 +1,102 @@
+// Decoded micro-op traces and the process-wide trace cache.
+//
+// The sweep / difftest hot loop re-runs the same generated programs across
+// every CPU x mitigation cell, and before this cache every cell re-derived
+// the same per-instruction decode facts (dispatch class, scoreboard source
+// registers) from the raw Instruction on every step. A DecodedTrace is that
+// decode done once; the TraceCache shares it across all Machines running the
+// same (program digest, uarch) cell, so repeated cells skip fetch/decode
+// entirely (docs/perf.md).
+//
+// Decode is a pure function of the Program (no CpuModel input today), but
+// the cache key still includes the microarchitecture so the contract stays
+// "one decoded trace per (program, CPU)" if decode ever becomes
+// model-dependent (e.g. per-uarch fusion rules).
+#ifndef SPECTREBENCH_SRC_UARCH_DECODED_TRACE_H_
+#define SPECTREBENCH_SRC_UARCH_DECODED_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/cpu/cpu_model.h"
+#include "src/isa/isa.h"
+#include "src/isa/program.h"
+
+namespace specbench {
+
+// Which pipeline component executes an opcode (Machine::Step dispatch).
+enum class StepClass : uint8_t { kCompute, kMemory, kBranch, kSystem };
+
+StepClass ClassOf(Op op);
+
+// One instruction's decode facts: its dispatch class and the registers whose
+// `ready_at` the scoreboard consults before issue (the same selection as
+// Machine::SourcesReadyAt, precomputed).
+struct DecodedOp {
+  StepClass cls = StepClass::kSystem;
+  uint8_t num_srcs = 0;
+  uint8_t srcs[3] = {0, 0, 0};
+};
+
+// Immutable decode of one Program for one microarchitecture.
+class DecodedTrace {
+ public:
+  DecodedTrace(const Program& program, Uarch uarch);
+
+  const DecodedOp& op(int32_t index) const {
+    return ops_[static_cast<size_t>(index)];
+  }
+  int32_t size() const { return static_cast<int32_t>(ops_.size()); }
+  uint64_t program_digest() const { return program_digest_; }
+  Uarch uarch() const { return uarch_; }
+
+ private:
+  std::vector<DecodedOp> ops_;
+  uint64_t program_digest_;
+  Uarch uarch_;
+};
+
+// Process-wide, mutex-protected cache of decoded traces keyed by
+// (Program::Digest, Uarch). Entries are shared_ptr<const ...> so a cached
+// trace stays alive for machines still running it even if the cache is
+// cleared concurrently. Bounded: once kMaxEntries distinct keys are live the
+// cache drops everything and starts over (generated sweep programs are
+// transient, so an occasional cold restart is cheaper than an LRU chain).
+class TraceCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  static constexpr size_t kMaxEntries = 4096;
+
+  static TraceCache& Global();
+
+  // Returns the decoded trace for (program, uarch), decoding on first use.
+  std::shared_ptr<const DecodedTrace> Acquire(const Program& program, Uarch uarch);
+
+  Stats stats() const;
+  void ResetStats();
+  // Drops all entries (tests; in-flight shared_ptrs stay valid).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<uint64_t, Uarch>, std::shared_ptr<const DecodedTrace>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_UARCH_DECODED_TRACE_H_

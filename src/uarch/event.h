@@ -85,6 +85,13 @@ class EventBus {
     active_ = !sinks_.empty();
   }
 
+  // Detaches every sink (machine reuse: a reset machine must not keep
+  // publishing into sinks owned by the previous run's harness).
+  void Clear() {
+    sinks_.clear();
+    active_ = false;
+  }
+
   void Emit(const UarchEvent& event) const {
     for (EventSink* sink : sinks_) {
       sink->OnEvent(event);

@@ -56,6 +56,16 @@ struct FrontendUnit {
 
   uint64_t CallerContext() const { return ContextHash(call_site_stack); }
 
+  // As-new frontend for machine reuse: every predictor and the call-site
+  // history back to power-on state.
+  void Reset() {
+    btb.Reset();
+    rsb.Reset();
+    cond.Reset();
+    call_site_stack.clear();
+    kernel_entry_counter = 0;
+  }
+
  private:
   static uint64_t Mix(uint64_t x) {
     x ^= x >> 33;

@@ -10,66 +10,6 @@
 
 namespace specbench {
 
-namespace {
-
-// Which pipeline component executes an opcode (see Step()).
-enum class StepClass : uint8_t { kCompute, kMemory, kBranch, kSystem };
-
-StepClass ClassOf(Op op) {
-  switch (op) {
-    case Op::kNop:
-    case Op::kMovImm:
-    case Op::kMov:
-    case Op::kAlu:
-    case Op::kMul:
-    case Op::kDiv:
-    case Op::kCmov:
-    case Op::kLea:
-    case Op::kPause:
-    case Op::kRdtsc:
-    case Op::kRdpmc:
-    case Op::kFpOp:
-    case Op::kFpToGp:
-    case Op::kGpToFp:
-      return StepClass::kCompute;
-    case Op::kLoad:
-    case Op::kStore:
-    case Op::kClflush:
-      return StepClass::kMemory;
-    case Op::kJmp:
-    case Op::kBranchNz:
-    case Op::kBranchZ:
-    case Op::kBranchEqImm:
-    case Op::kCall:
-    case Op::kRet:
-    case Op::kIndirectJmp:
-    case Op::kIndirectCall:
-      return StepClass::kBranch;
-    case Op::kLfence:
-    case Op::kMfence:
-    case Op::kSyscall:
-    case Op::kSysret:
-    case Op::kSwapgs:
-    case Op::kMovCr3:
-    case Op::kVerw:
-    case Op::kWrmsr:
-    case Op::kRdmsr:
-    case Op::kFlushL1d:
-    case Op::kRsbStuff:
-    case Op::kXsave:
-    case Op::kXrstor:
-    case Op::kCpuid:
-    case Op::kVmEnter:
-    case Op::kVmExit:
-    case Op::kKcall:
-    case Op::kHalt:
-      return StepClass::kSystem;
-  }
-  return StepClass::kSystem;
-}
-
-}  // namespace
-
 Machine::Machine(const CpuModel& cpu)
     : cpu_(cpu),
       frontend_(cpu.predictor),
@@ -87,6 +27,53 @@ void Machine::RecompileEffects() {
 void Machine::LoadProgram(const Program* program) {
   SPECBENCH_CHECK(program != nullptr);
   program_ = program;
+  decoded_ = TraceCache::Global().Acquire(*program, cpu_.uarch);
+}
+
+void Machine::Reset() {
+  program_ = nullptr;
+  decoded_ = nullptr;
+  memory_map_ = &identity_map_;
+
+  regs_.fill(0);
+  ready_at_.fill(0);
+  fpregs_.fill(0);
+  rip_ = 0;
+  mode_ = Mode::kUser;
+  cr3_ = 0;
+  fpu_enabled_ = true;
+  msr_spec_ctrl_ = 0;
+  msr_other_.clear();
+  saved_user_rip_ = 0;
+  saved_host_rip_ = 0;
+  guest_resume_rip_ = 0;
+  vm_exit_handler_ = 0;
+  syscall_entry_ = 0;
+
+  now_ = 0;
+  retire_frontier_ = 0;
+  instructions_ = 0;
+  halted_ = false;
+
+  frontend_.Reset();
+  mem_.Reset();
+  pcid_enabled_ = cpu_.pcid_supported;
+  smt_thread_id_ = 0;
+  stibp_active_ = false;
+  alu_fault_countdown_ = 0;
+
+  bus_.Clear();
+  step_stall_cycles_ = 0;
+  step_tagged_cycles_ = 0;
+  pmcs_.fill(0);
+
+  page_fault_hook_ = nullptr;
+  fp_trap_hook_ = nullptr;
+  kcall_hooks_.clear();
+  trace_hook_ = nullptr;
+  has_trace_hook_ = false;
+
+  RecompileEffects();
 }
 
 void Machine::SetMemoryMap(const MemoryMap* map) {
@@ -310,9 +297,13 @@ void Machine::Step() {
     now_ = target;
   }
 
-  const uint64_t srcs_ready = SourcesReadyAt(in);
+  const DecodedOp& decoded = decoded_->op(rip_);
+  uint64_t srcs_ready = 0;
+  for (uint8_t s = 0; s < decoded.num_srcs; s++) {
+    srcs_ready = std::max(srcs_ready, ready_at_[decoded.srcs[s]]);
+  }
   int32_t next = rip_ + 1;
-  switch (ClassOf(in.op)) {
+  switch (decoded.cls) {
     case StepClass::kCompute:
       next = StepCompute(in, srcs_ready);
       break;

@@ -40,12 +40,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/cpu/cpu_model.h"
 #include "src/isa/isa.h"
 #include "src/isa/program.h"
 #include "src/uarch/cache.h"
+#include "src/uarch/decoded_trace.h"
 #include "src/uarch/event.h"
 #include "src/uarch/frontend.h"
 #include "src/uarch/memory.h"
@@ -62,6 +64,17 @@ class Machine {
   // --- Setup -------------------------------------------------------------
   void LoadProgram(const Program* program);
   const Program* program() const { return program_; }
+
+  // Returns the machine to its freshly-constructed state (same CpuModel):
+  // architectural registers, MSRs, privilege/paging state, the issue clock
+  // and retirement frontier, PMCs, every predictor, the cache hierarchy, the
+  // TLB, fill buffers, the store buffer, physical memory contents, all hooks
+  // and event-bus sinks, and the loaded program. O(1) in the cache sizes
+  // (generation-counter invalidation), so pooled machine reuse across sweep
+  // cells is cheap. The regression contract — run-after-Reset is bit- and
+  // cycle-identical to a fresh machine — is enforced by
+  // tests/uarch_reset_test.cc over the difftest corpus.
+  void Reset();
   // Translation provider; defaults to the identity map. Not owned.
   void SetMemoryMap(const MemoryMap* map);
 
@@ -172,6 +185,24 @@ class Machine {
   // (halted=false, resume_rip set). Used to interleave SMT sibling threads.
   RunResult RunPartial(uint64_t entry_vaddr, uint64_t max_instructions);
 
+  // SMARTS-style sampled execution (docs/perf.md): after a cycle-detailed
+  // warmup, alternate functional fast-forward stretches (architectural
+  // execution only, reference-interpreter semantics, pipeline drained) with
+  // cycle-detailed windows. Architecturally exact — identical retired
+  // instruction stream, registers, memory and trace hooks as RunPartial —
+  // while cycle counts become an estimate (functional stretches are charged
+  // at the CPI observed in the last detailed window). Instructions the
+  // functional interpreter cannot execute (syscalls, MSR/cr3 writes, rdtsc,
+  // FPU traps, faulting accesses, ...) fall back into the next detailed
+  // window, which always executes at least one instruction.
+  struct FastForwardPlan {
+    uint64_t warmup_instructions = 64;      // detailed prefix
+    uint64_t detail_instructions = 32;      // detailed window per period
+    uint64_t functional_instructions = 512; // fast-forward stretch per period
+  };
+  RunResult RunSampled(uint64_t entry_vaddr, uint64_t max_instructions,
+                       const FastForwardPlan& plan);
+
   // Architectural thread context for SMT-style interleaving: registers and
   // control state only — caches, predictors, fill buffers and the store
   // buffer are the *shared* core resources siblings contend on (and leak
@@ -247,7 +278,12 @@ class Machine {
   void RunSpeculativeEpisode(int32_t index, uint64_t t0, uint64_t budget);
   void SpeculativeEpisodeBody(int32_t index, uint64_t t0, uint64_t budget);
 
-  uint64_t SourcesReadyAt(const Instruction& instr) const;
+  // Functional fast-forward engine (machine_fastpath.cc): executes up to
+  // `budget` instructions architecturally (no timing, no episodes, direct
+  // memory writes) and returns how many it retired. Stops early at kHalt or
+  // at the first instruction outside the functional subset.
+  uint64_t RunFunctional(uint64_t budget);
+
   uint64_t EffectiveAddress(const Instruction& instr,
                             const std::array<uint64_t, kNumRegs>& regs) const;
   void WriteReg(uint8_t index, uint64_t value, uint64_t ready_at);
@@ -268,6 +304,10 @@ class Machine {
 
   const CpuModel cpu_;
   const Program* program_ = nullptr;
+  // Shared decode of `program_` from the global TraceCache (set by
+  // LoadProgram); Step() dispatches off it instead of re-deriving class and
+  // scoreboard sources from the raw Instruction.
+  std::shared_ptr<const DecodedTrace> decoded_;
   IdentityMemoryMap identity_map_;
   const MemoryMap* memory_map_ = nullptr;
 

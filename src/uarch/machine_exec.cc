@@ -1,6 +1,7 @@
-// Execute / scoreboard unit: operand readiness, register writeback, ALU
-// semantics and the compute-class step handler (arithmetic, moves, cmov,
-// timestamp/PMC reads and the FPU group with its lazy-FPU trap path).
+// Execute / scoreboard unit: register writeback, ALU semantics and the
+// compute-class step handler (arithmetic, moves, cmov, timestamp/PMC reads
+// and the FPU group with its lazy-FPU trap path). Operand-readiness source
+// selection lives in the decoder (src/uarch/decoded_trace.cc).
 #include <algorithm>
 
 #include "src/uarch/machine.h"
@@ -8,40 +9,6 @@
 #include "src/util/check.h"
 
 namespace specbench {
-
-uint64_t Machine::SourcesReadyAt(const Instruction& instr) const {
-  uint64_t ready = 0;
-  auto consider = [&](uint8_t r) {
-    if (r != kNoReg) {
-      ready = std::max(ready, ready_at_[r]);
-    }
-  };
-  switch (instr.op) {
-    case Op::kLoad:
-    case Op::kLea:
-    case Op::kClflush:
-      consider(instr.mem.base);
-      consider(instr.mem.index);
-      break;
-    case Op::kStore:
-      consider(instr.mem.base);
-      consider(instr.mem.index);
-      consider(instr.src1);
-      break;
-    case Op::kCmov:
-      consider(instr.dst);
-      consider(instr.src1);
-      consider(instr.src2);
-      break;
-    default:
-      consider(instr.src1);
-      if (!instr.use_imm) {
-        consider(instr.src2);
-      }
-      break;
-  }
-  return ready;
-}
 
 uint64_t Machine::EffectiveAddress(const Instruction& instr,
                                    const std::array<uint64_t, kNumRegs>& regs) const {

@@ -1,0 +1,297 @@
+// Sampled execution (SMARTS-style): functional fast-forward stretches
+// interleaved with cycle-detailed windows (docs/perf.md).
+//
+// The functional engine exploits a structural property of the machine:
+// committed-path semantics are architecturally in-order. Speculative
+// episodes never commit state, the store buffer drains to memory in program
+// order, and every step handler computes its architectural result from
+// committed registers/memory. So once the pipeline is drained (issue clock
+// caught up with the retirement frontier, store buffer empty, memory
+// authoritative), executing instructions in order with reference-interpreter
+// semantics and direct memory writes is *architecturally exact* — identical
+// registers, memory, retired-instruction stream and trace-hook callbacks as
+// the detailed path. What it does not model is time and microarchitectural
+// side effects: caches, TLB, predictors and fill buffers are frozen during a
+// stretch, and the stretch's cycles are an estimate (the CPI observed in the
+// last detailed window). That is the cycle-accuracy contract: RunSampled
+// trades exact cycle counts for throughput while keeping architecture exact,
+// and the difftest cross-validation mode proves the latter on every run.
+#include <algorithm>
+
+#include "src/uarch/machine.h"
+#include "src/uarch/machine_internal.h"
+#include "src/util/check.h"
+
+namespace specbench {
+
+uint64_t Machine::RunFunctional(uint64_t budget) {
+  uint64_t executed = 0;
+  // Commit bookkeeping, mirroring Step(): the trace hook observes every
+  // committed instruction before its effects, in the same order and with the
+  // same record fields as detailed execution.
+  const auto commit = [this](const Instruction& in) {
+    instructions_++;
+    if (has_trace_hook_) {
+      trace_hook_(TraceRecord{rip_, program_->VaddrOf(rip_), in.op, mode_, cycles()});
+    }
+  };
+
+  while (executed < budget && !halted_) {
+    SPECBENCH_CHECK(rip_ >= 0 && rip_ < program_->size());
+    const Instruction& in = program_->at(rip_);
+    int32_t next = rip_ + 1;
+    switch (in.op) {
+      // Architectural no-ops: cost is timing/microarchitectural only, which
+      // functional stretches do not model.
+      case Op::kNop:
+      case Op::kPause:
+      case Op::kLfence:
+      case Op::kMfence:
+      case Op::kSwapgs:
+      case Op::kVerw:
+      case Op::kFlushL1d:
+      case Op::kRsbStuff:
+      case Op::kXsave:
+      case Op::kXrstor:
+      case Op::kCpuid:
+      case Op::kClflush:
+        commit(in);
+        break;
+      case Op::kMovImm:
+        commit(in);
+        regs_[in.dst] = static_cast<uint64_t>(in.imm);
+        break;
+      case Op::kMov:
+        commit(in);
+        regs_[in.dst] = regs_[in.src1];
+        break;
+      case Op::kAlu: {
+        commit(in);
+        const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : regs_[in.src2];
+        uint64_t value = AluCompute(in.alu, regs_[in.src1], b);
+        // The test-only injected fault must fire on the same committed kAlu
+        // regardless of which engine executes it, or the oracle's
+        // detect-an-injected-bug self-check would pass detailed and fail
+        // fast (or vice versa).
+        if (alu_fault_countdown_ > 0 && --alu_fault_countdown_ == 0) {
+          value ^= 1;
+        }
+        regs_[in.dst] = value;
+        break;
+      }
+      case Op::kMul: {
+        commit(in);
+        const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : regs_[in.src2];
+        regs_[in.dst] = regs_[in.src1] * b;
+        break;
+      }
+      case Op::kDiv: {
+        commit(in);
+        const uint64_t b = in.use_imm ? static_cast<uint64_t>(in.imm) : regs_[in.src2];
+        regs_[in.dst] = b == 0 ? 0 : regs_[in.src1] / b;
+        break;
+      }
+      case Op::kCmov:
+        commit(in);
+        if (regs_[in.src2] != 0) {
+          regs_[in.dst] = regs_[in.src1];
+        }
+        break;
+      case Op::kLea:
+        commit(in);
+        regs_[in.dst] = EffectiveAddress(in, regs_);
+        break;
+      case Op::kLoad: {
+        const uint64_t vaddr = EffectiveAddress(in, regs_);
+        const Translation t = memory_map_->Translate(vaddr, cr3_, mode_);
+        if (!t.valid) {
+          return executed;  // page-fault path needs the detailed engine
+        }
+        commit(in);
+        regs_[in.dst] = mem_.memory.Read(t.paddr);
+        break;
+      }
+      case Op::kStore: {
+        const uint64_t vaddr = EffectiveAddress(in, regs_);
+        const Translation t = memory_map_->Translate(vaddr, cr3_, mode_);
+        if (!t.valid) {
+          return executed;
+        }
+        commit(in);
+        mem_.memory.Write(t.paddr, regs_[in.src1]);
+        break;
+      }
+      case Op::kJmp:
+        commit(in);
+        next = in.target;
+        break;
+      case Op::kBranchNz:
+        commit(in);
+        next = regs_[in.src1] != 0 ? in.target : rip_ + 1;
+        break;
+      case Op::kBranchZ:
+        commit(in);
+        next = regs_[in.src1] == 0 ? in.target : rip_ + 1;
+        break;
+      case Op::kBranchEqImm:
+        commit(in);
+        next = regs_[in.src1] == static_cast<uint64_t>(in.imm) ? in.target : rip_ + 1;
+        break;
+      case Op::kCall: {
+        const uint64_t sp = regs_[kRegSp] - 8;
+        const Translation t = memory_map_->Translate(sp, cr3_, mode_);
+        if (!t.valid) {
+          return executed;  // detailed engine owns the unmapped-stack abort
+        }
+        commit(in);
+        mem_.memory.Write(t.paddr, program_->VaddrOf(rip_ + 1));
+        regs_[kRegSp] = sp;
+        next = in.target;
+        break;
+      }
+      case Op::kRet: {
+        const uint64_t sp = regs_[kRegSp];
+        const Translation t = memory_map_->Translate(sp, cr3_, mode_);
+        if (!t.valid) {
+          return executed;
+        }
+        const uint64_t actual = mem_.memory.Read(t.paddr);
+        const int32_t target = program_->IndexOf(actual);
+        if (target < 0) {
+          return executed;  // detailed engine owns the out-of-program abort
+        }
+        commit(in);
+        regs_[kRegSp] = sp + 8;
+        next = target;
+        break;
+      }
+      case Op::kIndirectJmp:
+      case Op::kIndirectCall: {
+        const uint64_t actual = regs_[in.src1];
+        const int32_t target = program_->IndexOf(actual);
+        if (target < 0) {
+          return executed;
+        }
+        if (in.op == Op::kIndirectCall) {
+          const uint64_t sp = regs_[kRegSp] - 8;
+          const Translation t = memory_map_->Translate(sp, cr3_, mode_);
+          if (!t.valid) {
+            return executed;
+          }
+          commit(in);
+          mem_.memory.Write(t.paddr, program_->VaddrOf(rip_ + 1));
+          regs_[kRegSp] = sp;
+        } else {
+          commit(in);
+        }
+        next = target;
+        break;
+      }
+      case Op::kFpOp:
+      case Op::kFpToGp:
+      case Op::kGpToFp: {
+        if (!fpu_enabled_) {
+          return executed;  // lazy-FPU trap needs the detailed engine
+        }
+        commit(in);
+        const uint8_t fp_index = static_cast<uint8_t>(in.imm) & (kNumFpRegs - 1);
+        if (in.op == Op::kFpOp) {
+          fpregs_[fp_index] = fpregs_[fp_index] * 3 + 1;
+        } else if (in.op == Op::kFpToGp) {
+          regs_[in.dst] = fpregs_[fp_index];
+        } else {
+          fpregs_[fp_index] = regs_[in.src1];
+        }
+        break;
+      }
+      case Op::kHalt:
+        commit(in);
+        halted_ = true;
+        now_++;
+        break;
+      // Timing reads and privileged transitions are outside the functional
+      // subset: their architectural results depend on the cycle clock, MSR
+      // state machinery or simulator hooks the detailed engine owns.
+      case Op::kRdtsc:
+      case Op::kRdpmc:
+      case Op::kSyscall:
+      case Op::kSysret:
+      case Op::kMovCr3:
+      case Op::kWrmsr:
+      case Op::kRdmsr:
+      case Op::kVmEnter:
+      case Op::kVmExit:
+      case Op::kKcall:
+        return executed;
+    }
+    rip_ = next;
+    executed++;
+  }
+  return executed;
+}
+
+Machine::RunResult Machine::RunSampled(uint64_t entry_vaddr, uint64_t max_instructions,
+                                       const FastForwardPlan& plan) {
+  SPECBENCH_CHECK(program_ != nullptr);
+  const int32_t entry = program_->IndexOf(entry_vaddr);
+  SPECBENCH_CHECK_MSG(entry >= 0, "Run entry point not inside the loaded program");
+  rip_ = entry;
+  halted_ = false;
+
+  const uint64_t cycles_before = cycles();
+  const uint64_t instructions_before = instructions_;
+  uint64_t executed = 0;
+
+  // CPI observation from the most recent detailed window; functional
+  // stretches are charged at this rate. Falls back to 1 cycle/instruction
+  // until the first window completes (warmup of 0).
+  uint64_t detail_cycles = 1;
+  uint64_t detail_instrs = 1;
+  const auto run_detailed = [&](uint64_t window) {
+    const uint64_t c0 = cycles();
+    uint64_t n = 0;
+    while (!halted_ && executed < max_instructions && n < window) {
+      Step();
+      executed++;
+      n++;
+    }
+    if (n > 0) {
+      detail_instrs = n;
+      detail_cycles = std::max<uint64_t>(cycles() - c0, 1);
+    }
+  };
+
+  run_detailed(plan.warmup_instructions);
+
+  while (!halted_ && executed < max_instructions) {
+    const uint64_t stretch =
+        std::min(plan.functional_instructions, max_instructions - executed);
+    if (stretch > 0) {
+      // Functional entry precondition: all in-flight work complete and
+      // memory authoritative (see the file comment).
+      DrainPipeline();
+      const uint64_t f = RunFunctional(stretch);
+      executed += f;
+      if (f > 0) {
+        // Charge the stretch at the observed CPI (rounded to nearest). The
+        // frontier stays <= now_, so this advances cycles() directly.
+        now_ += (f * detail_cycles + detail_instrs / 2) / detail_instrs;
+      }
+    }
+    if (halted_ || executed >= max_instructions) {
+      break;
+    }
+    // A detailed window of at least one instruction guarantees progress when
+    // the functional engine refuses the next opcode.
+    run_detailed(std::max<uint64_t>(plan.detail_instructions, 1));
+  }
+
+  RunResult result;
+  result.cycles = cycles() - cycles_before;
+  result.instructions = instructions_ - instructions_before;
+  result.halted = halted_;
+  result.resume_rip = halted_ ? 0 : program_->VaddrOf(rip_);
+  return result;
+}
+
+}  // namespace specbench

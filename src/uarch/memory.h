@@ -59,6 +59,9 @@ class SparseMemory {
  public:
   uint64_t Read(uint64_t paddr) const;
   void Write(uint64_t paddr, uint64_t value);
+  // Discards all contents (machine reuse): afterwards every read returns 0,
+  // exactly like a freshly constructed memory.
+  void Clear() { words_.clear(); }
   size_t footprint_words() const { return words_.size(); }
 
   // Sorted (address, value) pairs of every nonzero word. A word explicitly

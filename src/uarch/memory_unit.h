@@ -21,6 +21,16 @@ struct MemoryUnit {
   Tlb tlb;
   FillBuffers fill_buffers;
   StoreBuffer store_buffer;
+
+  // As-new memory subsystem for machine reuse: contents, cached lines, TLB
+  // entries, fill-buffer residue and buffered stores all discarded.
+  void Reset() {
+    memory.Clear();
+    caches.Reset();
+    tlb.Reset();
+    fill_buffers.Reset();
+    store_buffer.Clear();
+  }
 };
 
 }  // namespace specbench

@@ -46,6 +46,9 @@ class Btb {
   void FlushAll();
   // eIBRS periodic scrub (§6.2.2): drop entries trained in kernel mode.
   void FlushKernelEntries();
+  // As-new state (machine reuse); identical to FlushAll today but kept
+  // separate so reset semantics stay explicit if the BTB grows stats.
+  void Reset() { entries_.clear(); }
 
   size_t size() const { return entries_.size(); }
 
@@ -79,6 +82,12 @@ class Rsb {
   // interrupted-retpoline and SpectreRSB, paper §5.3).
   void Stuff(uint64_t benign_target);
   void Clear();
+  // As-new state: Clear() alone keeps the underflow count, which is exactly
+  // the cross-run residue Machine::Reset must flush.
+  void Reset() {
+    stack_.clear();
+    underflows_ = 0;
+  }
 
   uint32_t depth() const { return depth_; }
   size_t size() const { return stack_.size(); }

@@ -1,0 +1,131 @@
+// Golden tests for the CLI's argument validation: strict --seeds=A:B
+// parsing, per-subcommand flag allowlists, and the unknown-command path.
+// Each case runs the real spectrebench binary (SPECBENCH_CLI_PATH, injected
+// by CMake) as a subprocess and asserts on the exit code and the exact
+// diagnostic text — the error strings are part of the user interface, so
+// changes to them must be deliberate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace specbench {
+namespace {
+
+struct RunOutput {
+  int exit_code = -1;
+  std::string output;  // stderr + stdout, interleaved
+};
+
+RunOutput RunCli(const std::string& args) {
+  const std::string command = std::string(SPECBENCH_CLI_PATH) + " " + args + " 2>&1";
+  RunOutput result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// --- Strict --seeds=A:B validation ----------------------------------------
+
+TEST(CliSeeds, RejectsReversedRange) {
+  const RunOutput r = RunCli("difftest --seeds=5:2");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--seeds=5:2: empty range (B must be greater than A)\n");
+}
+
+TEST(CliSeeds, RejectsEmptyRange) {
+  const RunOutput r = RunCli("difftest --seeds=2:2");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--seeds=2:2: empty range (B must be greater than A)\n");
+}
+
+TEST(CliSeeds, RejectsNonNumericBegin) {
+  const RunOutput r = RunCli("difftest --seeds=abc:5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--seeds=abc:5: \"abc\" is not a decimal seed\n");
+}
+
+TEST(CliSeeds, RejectsTrailingGarbage) {
+  const RunOutput r = RunCli("difftest --seeds=1:5x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--seeds=1:5x: \"5x\" is not a decimal seed\n");
+}
+
+TEST(CliSeeds, RejectsMissingColon) {
+  const RunOutput r = RunCli("difftest --seeds=5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--seeds=5: want A:B (B exclusive)\n");
+}
+
+TEST(CliSeeds, RejectsEmptyEndpoints) {
+  const RunOutput r = RunCli("harden --seeds=:");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--seeds=:: \"\" is not a decimal seed\n");
+}
+
+TEST(CliSeeds, HardenRejectsReversedRange) {
+  const RunOutput r = RunCli("harden --seeds=9:3");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--seeds=9:3: empty range (B must be greater than A)\n");
+}
+
+// --- Per-subcommand flag allowlists ---------------------------------------
+
+TEST(CliFlags, AttacksRejectsSeeds) {
+  const RunOutput r = RunCli("attacks --seeds=0:5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output,
+            "spectrebench attacks: unrecognized option '--seeds' (valid options: --cpus)\n");
+}
+
+TEST(CliFlags, TableRejectsJson) {
+  const RunOutput r = RunCli("table1 --json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output,
+            "spectrebench table1: unrecognized option '--json' (valid options: none)\n");
+}
+
+TEST(CliFlags, DifftestRejectsUnknownFlag) {
+  const RunOutput r = RunCli("difftest --bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("spectrebench difftest: unrecognized option '--bogus'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliFlags, CrossValidateRequiresFast) {
+  const RunOutput r = RunCli("difftest --seeds=0:1 --cross-validate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output, "--cross-validate requires --fast\n");
+}
+
+TEST(CliFlags, UnknownCommandReportedBeforeFlags) {
+  const RunOutput r = RunCli("bogus --bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.output.rfind("unknown command: bogus\n", 0), 0u) << r.output;
+}
+
+// --- Valid invocations stay valid -----------------------------------------
+
+TEST(CliFlags, DifftestAcceptsItsFlags) {
+  const RunOutput r = RunCli("difftest --seeds=0:2 --jobs=2 --fast --cross-validate");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 divergences"), std::string::npos) << r.output;
+}
+
+TEST(CliFlags, Table1AcceptsNoFlags) {
+  const RunOutput r = RunCli("table1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace
+}  // namespace specbench

@@ -1,0 +1,158 @@
+// Fast-path cross-validation: the sampled-timing engine (Machine::RunSampled
+// over pooled machines) must produce the exact same architectural end state
+// as the cycle-detailed engine on every difftest cell — registers, memory
+// digest, retired-instruction count and trace hash. Also pins the decoded
+// trace cache's hit/miss accounting and the fast path's ability to detect an
+// injected simulator bug (the oracle self-check must not lose power in fast
+// mode).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/cpu/cpu_model.h"
+#include "src/difftest/difftest.h"
+#include "src/difftest/generator.h"
+#include "src/difftest/reference.h"
+#include "src/isa/program.h"
+#include "src/uarch/decoded_trace.h"
+#include "src/uarch/machine.h"
+
+namespace specbench {
+namespace {
+
+// The headline contract: 200 fuzz seeds, every CPU model, every mitigation
+// config — fast and detailed engines agree on the full ArchState (regs,
+// fpregs, memory digest, retired count, trace hash, halted), and both agree
+// with the reference interpreter.
+TEST(DifftestFast, CrossValidates200SeedsAgainstDetailedEngine) {
+  DifftestOptions options;
+  options.seed_begin = 0;
+  options.seed_end = 200;
+  options.jobs = 0;  // hardware concurrency
+  options.fast = true;
+  options.cross_validate = true;
+  const DifftestReport report = RunDifftest(options);
+  EXPECT_EQ(report.programs, 200u);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_GT(report.retired_instructions, 0u);
+}
+
+// The oracle self-check in fast mode: an injected ALU fault must surface as
+// divergences, proving the fast path still has bug-finding power.
+TEST(DifftestFast, DetectsInjectedFault) {
+  DifftestOptions options;
+  options.seed_begin = 0;
+  options.seed_end = 5;
+  options.fast = true;
+  options.shrink = false;
+  options.inject_alu_fault_after = 1;
+  const DifftestReport report = RunDifftest(options);
+  EXPECT_FALSE(report.ok()) << "fast mode missed the injected fault";
+  // The repro command line must replay in fast mode.
+  ASSERT_FALSE(report.divergences.empty());
+  EXPECT_NE(report.divergences[0].repro.find("--fast"), std::string::npos)
+      << report.divergences[0].repro;
+}
+
+// RunSampled must agree with RunPartial even when the program leans on the
+// opcodes the functional engine refuses (timing reads, privileged
+// transitions) — the detailed windows own those.
+TEST(DifftestFast, SampledRunHandlesFunctionalBailOpcodes) {
+  ProgramBuilder b;
+  b.MovImm(kRegSp, 0x8000);
+  b.MovImm(1, 100);
+  Label loop = b.NewLabel();
+  b.Bind(loop);
+  b.Rdtsc(2);  // functional engine refuses this every iteration
+  b.AluImm(AluOp::kAdd, 3, 3, 1);
+  b.AluImm(AluOp::kSub, 1, 1, 1);
+  b.BranchNz(1, loop);
+  b.Halt();
+  const Program program = b.Build();
+
+  const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
+  const DiffConfig config;  // "off"
+  const ArchState detailed = RunMachineArch(program, cpu, config, 1'000'000);
+  const ArchState fast = RunMachineArchFast(program, cpu, config, 1'000'000);
+  // rdtsc reads the cycle clock, which sampled timing only estimates; mask
+  // the register it lands in and compare everything else.
+  ArchState d = detailed;
+  ArchState f = fast;
+  d.regs[2] = f.regs[2] = 0;
+  EXPECT_TRUE(d == f);
+  EXPECT_EQ(detailed.retired, fast.retired);
+  EXPECT_EQ(detailed.trace_hash, fast.trace_hash);
+  EXPECT_TRUE(fast.halted);
+}
+
+// Without timing reads the agreement is exact, including on programs long
+// enough to exercise many functional stretches.
+TEST(DifftestFast, SampledRunExactOnTimingFreePrograms) {
+  ProgramBuilder b;
+  b.MovImm(kRegSp, 0x8000);
+  b.MovImm(1, 5000);
+  b.MovImm(4, 0x4000);
+  Label loop = b.NewLabel();
+  b.Bind(loop);
+  b.Store(MemRef{.base = 4, .index = kNoReg, .scale = 1, .disp = 0}, 1);
+  b.Load(5, MemRef{.base = 4, .index = kNoReg, .scale = 1, .disp = 0});
+  b.AluImm(AluOp::kAdd, 3, 3, 7);
+  b.AluImm(AluOp::kSub, 1, 1, 1);
+  b.BranchNz(1, loop);
+  b.Halt();
+  const Program program = b.Build();
+
+  const CpuModel& cpu = GetCpuModel(Uarch::kZen2);
+  const DiffConfig config;
+  const ArchState detailed = RunMachineArch(program, cpu, config, 1'000'000);
+  const ArchState fast = RunMachineArchFast(program, cpu, config, 1'000'000);
+  EXPECT_TRUE(detailed == fast);
+}
+
+// --- Decoded trace cache accounting ---------------------------------------
+
+TEST(TraceCache, CountsHitsAndMissesPerProgramAndUarch) {
+  TraceCache& cache = TraceCache::Global();
+  cache.Clear();
+  cache.ResetStats();
+
+  const Program a = GenerateProgram(1001, GeneratorOptions{});
+  const Program b = GenerateProgram(1002, GeneratorOptions{});
+
+  auto t1 = cache.Acquire(a, Uarch::kSkylakeClient);  // miss
+  auto t2 = cache.Acquire(a, Uarch::kSkylakeClient);  // hit: same key
+  auto t3 = cache.Acquire(a, Uarch::kZen2);           // miss: new uarch
+  auto t4 = cache.Acquire(b, Uarch::kSkylakeClient);  // miss: new program
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_NE(t1.get(), t3.get());
+  EXPECT_NE(t1.get(), t4.get());
+
+  const TraceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_NEAR(stats.hit_rate(), 0.25, 1e-9);
+}
+
+TEST(TraceCache, IdenticalProgramsShareOneEntry) {
+  TraceCache& cache = TraceCache::Global();
+  cache.Clear();
+  cache.ResetStats();
+  // Two separately generated but identical programs digest to the same key.
+  const Program a = GenerateProgram(42, GeneratorOptions{});
+  const Program b = GenerateProgram(42, GeneratorOptions{});
+  EXPECT_EQ(a.Digest(), b.Digest());
+  auto t1 = cache.Acquire(a, Uarch::kZen3);
+  auto t2 = cache.Acquire(b, Uarch::kZen3);
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TraceCache, DifferentProgramsGetDifferentDigests) {
+  const Program a = GenerateProgram(1, GeneratorOptions{});
+  const Program b = GenerateProgram(2, GeneratorOptions{});
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+}  // namespace
+}  // namespace specbench

@@ -153,7 +153,10 @@ TEST(PassFuzz, FixpointAndEquivalenceOnGeneratedPrograms) {
 // --- Switchpoline structure ----------------------------------------------
 
 TEST(Switchpoline, RewritesIndirectBranchIntoCompareChainWithFencedFallback) {
-  const CorpusEntry& entry = EntryNamed(BaselineCorpus(), "indirect-naked");
+  // Keep the corpus alive for the whole test: EntryNamed returns a
+  // reference into its argument, so passing a temporary would dangle.
+  const std::vector<CorpusEntry> corpus = BaselineCorpus();
+  const CorpusEntry& entry = EntryNamed(corpus, "indirect-naked");
   const MitigationPass* pass = FindMitigationPassByName("switchpoline");
   ASSERT_NE(pass, nullptr);
   const PassRunReport run = RunPassToFixpoint(*pass, entry.program, Baseline());

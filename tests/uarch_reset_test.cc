@@ -1,0 +1,187 @@
+// Machine reuse regression tests: Machine::Reset must return the machine to
+// power-on state so that a second Run on a reused machine is bit- and
+// cycle-identical to a run on a freshly constructed machine. This is the
+// contract MachinePool (and the difftest/sweep fast path) is built on; any
+// member added to Machine or its components that survives Reset shows up
+// here as a cycle or PMC mismatch on the fuzz corpus.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cpu_model.h"
+#include "src/difftest/generator.h"
+#include "src/difftest/reference.h"
+#include "src/isa/program.h"
+#include "src/uarch/cache.h"
+#include "src/uarch/machine.h"
+#include "src/uarch/machine_pool.h"
+#include "src/uarch/predictors.h"
+
+namespace specbench {
+namespace {
+
+// Everything observable about a completed run: architectural state, the
+// cycle clock, and every PMC. Strictly stronger than difftest's ArchState
+// (which deliberately excludes timing).
+struct Observation {
+  std::array<uint64_t, kNumRegs> regs{};
+  std::array<uint64_t, kNumFpRegs> fpregs{};
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t trace_hash = kArchHashBasis;
+  std::array<uint64_t, static_cast<size_t>(Pmc::kCount)> pmcs{};
+  uint64_t memory_digest = 0;
+  bool halted = false;
+
+  bool operator==(const Observation& o) const {
+    return regs == o.regs && fpregs == o.fpregs && cycles == o.cycles &&
+           instructions == o.instructions && trace_hash == o.trace_hash && pmcs == o.pmcs &&
+           memory_digest == o.memory_digest && halted == o.halted;
+  }
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "cycles=" << cycles << " instructions=" << instructions << " halted=" << halted
+        << " trace_hash=" << trace_hash << " memory_digest=" << memory_digest << " pmcs=[";
+    for (uint64_t p : pmcs) out << p << " ";
+    out << "] regs=[";
+    for (uint64_t r : regs) out << r << " ";
+    out << "]";
+    return out.str();
+  }
+};
+
+Observation RunOnce(Machine& m, const Program& program) {
+  Observation obs;
+  m.LoadProgram(&program);
+  m.SetTraceHook([&obs](const Machine::TraceRecord& record) {
+    obs.trace_hash = FoldTraceHash(obs.trace_hash, record.index, record.op);
+  });
+  const Machine::RunResult run = m.RunPartial(program.base_vaddr(), 1'000'000);
+  m.DrainPipeline();
+  m.DrainStoreBuffer();
+  for (uint8_t r = 0; r < kNumRegs; r++) obs.regs[r] = m.reg(r);
+  for (uint8_t r = 0; r < kNumFpRegs; r++) obs.fpregs[r] = m.fpreg(r);
+  obs.cycles = m.cycles();
+  obs.instructions = run.instructions;
+  for (size_t p = 0; p < static_cast<size_t>(Pmc::kCount); p++) {
+    obs.pmcs[p] = m.PmcValue(static_cast<Pmc>(p));
+  }
+  obs.memory_digest = DigestMemoryWords(m.physical_memory().SortedNonZeroWords());
+  obs.halted = run.halted;
+  m.SetTraceHook(nullptr);
+  return obs;
+}
+
+// The core contract, on the fuzz generator's program distribution: running
+// seed B on a machine that already ran seed A, with a Reset in between, is
+// indistinguishable — cycles and PMCs included — from running seed B on a
+// fresh machine.
+TEST(MachineReset, RunAfterResetIsIdenticalToFreshMachine) {
+  for (Uarch u : {Uarch::kSkylakeClient, Uarch::kCascadeLake, Uarch::kZen2}) {
+    const CpuModel& cpu = GetCpuModel(u);
+    Machine reused(cpu);
+    for (uint64_t seed = 0; seed < 12; seed++) {
+      const Program program = GenerateProgram(seed, GeneratorOptions{});
+      Machine fresh(cpu);
+      const Observation want = RunOnce(fresh, program);
+      reused.Reset();
+      const Observation got = RunOnce(reused, program);
+      EXPECT_TRUE(got == want) << "uarch=" << UarchName(u) << " seed=" << seed << "\n  fresh:  "
+                               << want.ToString() << "\n  reused: " << got.ToString();
+    }
+  }
+}
+
+// Mitigation MSR state (SSBD / IBRS / STIBP / PCID) set by a previous user
+// must not leak into the next run.
+TEST(MachineReset, ClearsMitigationState) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
+  const Program program = GenerateProgram(7, GeneratorOptions{});
+
+  Machine fresh(cpu);
+  const Observation want = RunOnce(fresh, program);
+
+  Machine dirty(cpu);
+  dirty.SetSsbd(true);
+  dirty.SetIbrs(true);
+  dirty.SetStibp(true);
+  dirty.SetPcidEnabled(false);
+  (void)RunOnce(dirty, program);  // run once with mitigations on
+  dirty.Reset();
+  const Observation got = RunOnce(dirty, program);
+  EXPECT_TRUE(got == want) << "\n  fresh: " << want.ToString() << "\n  reset: " << got.ToString();
+}
+
+// An armed-but-unfired test fault must not survive Reset and fire in the
+// next user's run.
+TEST(MachineReset, ClearsPendingInjectedFault) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kZen3);
+  const Program program = GenerateProgram(3, GeneratorOptions{});
+
+  Machine fresh(cpu);
+  const Observation want = RunOnce(fresh, program);
+
+  Machine dirty(cpu);
+  dirty.InjectAluFaultForTesting(1'000'000'000);  // armed, will not fire this run
+  (void)RunOnce(dirty, program);
+  dirty.Reset();
+  const Observation got = RunOnce(dirty, program);
+  EXPECT_TRUE(got == want) << "pending fault leaked across Reset";
+}
+
+TEST(MachinePool, ReusesOneMachinePerCpuModel) {
+  MachinePool pool;
+  const CpuModel& skl = GetCpuModel(Uarch::kSkylakeClient);
+  const CpuModel& zen = GetCpuModel(Uarch::kZen2);
+  Machine& a = pool.Acquire(skl);
+  Machine& b = pool.Acquire(skl);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(pool.size(), 1u);
+  Machine& c = pool.Acquire(zen);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(MachinePool, AcquireHandsBackPowerOnState) {
+  MachinePool pool;
+  const CpuModel& cpu = GetCpuModel(Uarch::kIceLakeClient);
+  const Program program = GenerateProgram(11, GeneratorOptions{});
+
+  Machine fresh(cpu);
+  const Observation want = RunOnce(fresh, program);
+
+  (void)RunOnce(pool.Acquire(cpu), GenerateProgram(12, GeneratorOptions{}));
+  const Observation got = RunOnce(pool.Acquire(cpu), program);
+  EXPECT_TRUE(got == want) << "\n  fresh:  " << want.ToString() << "\n  pooled: " << got.ToString();
+}
+
+// --- Component resets -----------------------------------------------------
+
+TEST(ComponentReset, CacheResetInvalidatesLinesAndZeroesStats) {
+  Cache cache(CacheGeometry{.size_bytes = 4096, .ways = 4, .line_bytes = 64, .latency_cycles = 3});
+  EXPECT_FALSE(cache.Access(0x1000));  // miss installs the line
+  EXPECT_TRUE(cache.Access(0x1000));
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.Reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.Contains(0x1000)) << "line survived Reset";
+  EXPECT_FALSE(cache.Access(0x1000)) << "line survived Reset";
+}
+
+TEST(ComponentReset, RsbResetClearsUnderflowCount) {
+  Rsb rsb(4);
+  EXPECT_FALSE(rsb.Pop().hit);  // underflow
+  EXPECT_EQ(rsb.underflows(), 1u);
+  rsb.Reset();
+  EXPECT_EQ(rsb.underflows(), 0u);
+  EXPECT_EQ(rsb.size(), 0u);
+}
+
+}  // namespace
+}  // namespace specbench

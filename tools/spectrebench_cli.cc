@@ -8,6 +8,7 @@
 //   spectrebench sweep [--grids=fig2,fig3,sec45] [--jobs=N] [--seed=S] [--csv]
 //   spectrebench attacks [--cpus=...]
 //   spectrebench difftest [--seeds=A:B] [--cpus=...] [--configs=...] [--jobs=N]
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,7 @@ namespace {
 
 struct CliOptions {
   bool fast = false;
+  bool cross_validate = false;  // difftest: fast vs detailed on every cell
   bool json = false;
   bool csv = false;
   bool quiet = false;           // suppress sweep progress lines on stderr
@@ -62,6 +64,129 @@ struct CliOptions {
   std::string replay;                  // corpus file to replay instead
   bool arch_hashes = false;            // replay: print arch end-state hashes
 };
+
+// Strict --seeds=A:B parser: both endpoints must be decimal numbers with no
+// trailing garbage and the range must be non-empty (B > A; B exclusive).
+// Reversed, empty and non-numeric ranges are command-line errors, not
+// silently-empty work lists.
+bool ParseU64Strict(const std::string& text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size() && errno == 0;
+}
+
+bool ParseSeedRange(const std::string& value, uint64_t* begin, uint64_t* end,
+                    std::string* error) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    *error = "want A:B (B exclusive)";
+    return false;
+  }
+  const std::string a = value.substr(0, colon);
+  const std::string b = value.substr(colon + 1);
+  if (!ParseU64Strict(a, begin)) {
+    *error = "\"" + a + "\" is not a decimal seed";
+    return false;
+  }
+  if (!ParseU64Strict(b, end)) {
+    *error = "\"" + b + "\" is not a decimal seed";
+    return false;
+  }
+  if (*end <= *begin) {
+    *error = "empty range (B must be greater than A)";
+    return false;
+  }
+  return true;
+}
+
+// Per-subcommand flag allowlist. A flag that parses fine but does nothing
+// for the given command (e.g. `attacks --seeds=0:5`, `table1 --json`) is a
+// user error worth exit code 2, not something to silently ignore. The error
+// text is golden-tested (tests/cli_test.cc) — change it deliberately.
+struct CommandSpec {
+  const char* name;
+  std::vector<const char*> flags;  // allowed, without the =value suffix
+};
+
+const std::vector<CommandSpec>& CommandSpecs() {
+  static const std::vector<CommandSpec> specs = {
+      {"list", {}},
+      {"table1", {}},
+      {"table2", {}},
+      {"table3", {}},
+      {"table4", {}},
+      {"table5", {}},
+      {"table6", {}},
+      {"table7", {}},
+      {"table8", {}},
+      {"tables9-10", {}},
+      {"sec622", {}},
+      {"fig2", {"--fast", "--cpus"}},
+      {"fig3", {"--fast", "--cpus"}},
+      {"fig5", {"--cpus"}},
+      {"sec44", {"--fast", "--cpus"}},
+      {"sec45", {"--fast", "--cpus"}},
+      {"fig2-kernels", {"--cpus"}},
+      {"sweep",
+       {"--fast", "--csv", "--quiet", "--jobs", "--seed", "--seeds", "--cpus", "--grids",
+        "--workloads", "--configs"}},
+      {"counters", {"--cpus", "--workloads", "--boot-params", "--strict-boot-params"}},
+      {"attacks", {"--cpus"}},
+      {"analyze", {"--json", "--cpus"}},
+      {"harden", {"--seeds", "--passes", "--json", "--cpus"}},
+      {"difftest",
+       {"--seeds", "--cpus", "--configs", "--jobs", "--inject-alu-fault", "--corpus-out",
+        "--replay", "--arch-hashes", "--fast", "--cross-validate"}},
+  };
+  return specs;
+}
+
+const CommandSpec* FindCommandSpec(const std::string& command) {
+  for (const CommandSpec& spec : CommandSpecs()) {
+    if (command == spec.name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+// Exit-2 diagnostic for a flag the command does not take (or that no
+// command takes). Lists the valid options so the fix is one glance away.
+int RejectFlag(const std::string& command, const CommandSpec& spec, const std::string& arg) {
+  const std::string flag = arg.substr(0, arg.find('='));
+  std::string valid;
+  for (const char* f : spec.flags) {
+    if (!valid.empty()) {
+      valid += " ";
+    }
+    valid += f;
+  }
+  if (valid.empty()) {
+    valid = "none";
+  }
+  std::fprintf(stderr, "spectrebench %s: unrecognized option '%s' (valid options: %s)\n",
+               command.c_str(), flag.c_str(), valid.c_str());
+  return 2;
+}
+
+bool FlagAllowed(const CommandSpec& spec, const std::string& arg) {
+  const std::string flag = arg.substr(0, arg.find('='));
+  for (const char* f : spec.flags) {
+    if (flag == f) {
+      return true;
+    }
+  }
+  return false;
+}
 
 std::vector<std::string> SplitCsv(const std::string& list) {
   std::vector<std::string> out;
@@ -202,8 +327,16 @@ int RunSweep(const CliOptions& options) {
       sweep.Merge(BuildFigure3Grid(grid));
     } else if (name == "sec45") {
       sweep.Merge(BuildSection45Grid(grid));
+    } else if (name == "difftest") {
+      DifftestGridOptions difftest;
+      difftest.cpus = options.cpus;
+      difftest.seed_begin = options.seed_begin;
+      difftest.seed_end = options.seed_end;
+      difftest.fast = options.fast;
+      sweep.Merge(BuildDifftestGrid(difftest));
     } else {
-      std::fprintf(stderr, "unknown grid: \"%s\" (valid: fig2, fig3, sec45)\n", name.c_str());
+      std::fprintf(stderr, "unknown grid: \"%s\" (valid: fig2, fig3, sec45, difftest)\n",
+                   name.c_str());
       return 2;
     }
   }
@@ -230,12 +363,8 @@ int RunSweep(const CliOptions& options) {
   const SweepResult result = sweep.Run(runner);
   std::printf("%s", options.csv ? result.ToCsv().c_str() : result.ToJson().c_str());
 
-  double total_ms = 0.0;
-  for (const SweepCellResult& cell : result.cells) {
-    total_ms += cell.wall_ms;
-  }
   if (!options.quiet) {
-    std::fprintf(stderr, "sweep: done, %.1f ms of cell work\n", total_ms);
+    std::fprintf(stderr, "sweep: done, %.1f ms of cell work\n", result.total_wall_ms());
   }
   return 0;
 }
@@ -249,6 +378,8 @@ int RunDifftestCommand(const CliOptions& options) {
   opts.cpus = options.cpus;
   opts.jobs = options.jobs;
   opts.inject_alu_fault_after = options.inject_alu_fault;
+  opts.fast = options.fast;
+  opts.cross_validate = options.cross_validate;
   for (const std::string& name : options.configs) {
     DiffConfig config;
     if (!TryGetDiffConfigByName(name, &config)) {
@@ -635,9 +766,11 @@ void PrintUsage() {
       "  sec44        VM workloads                     sec45   PARSEC defaults\n"
       "  fig2-kernels per-kernel LEBench overhead drill-down\n"
       "  sweep        run experiment grids on the deterministic parallel\n"
-      "               runner: [--grids=fig2,fig3,sec45] [--jobs=N] [--seed=S]\n"
-      "               [--workloads=a,b] [--configs=c] [--csv] [--quiet];\n"
-      "               JSON/CSV on stdout is byte-identical for any --jobs\n"
+      "               runner: [--grids=fig2,fig3,sec45,difftest] [--jobs=N]\n"
+      "               [--seed=S] [--workloads=a,b] [--configs=c] [--csv]\n"
+      "               [--quiet]; the difftest grid takes [--seeds=A:B]\n"
+      "               [--fast]; JSON/CSV on stdout is byte-identical for\n"
+      "               any --jobs and for --fast vs detailed\n"
       "  counters     per-mitigation cycle counters from the uarch event bus:\n"
       "               [--cpus=...] [--workloads=lebench:getpid,octane:richards]\n"
       "               [--boot-params=nopti,mds=off,...] [--strict-boot-params];\n"
@@ -661,6 +794,9 @@ void PrintUsage() {
       "               [--jobs=N] [--corpus-out=DIR] [--replay=FILE]\n"
       "               [--inject-alu-fault=N]; output is byte-identical for\n"
       "               any --jobs; exit 0 iff architecturally equivalent;\n"
+      "               --fast reuses pooled machines with sampled timing\n"
+      "               (docs/perf.md); --fast --cross-validate re-runs every\n"
+      "               cell on the detailed engine and demands agreement;\n"
       "               --replay=FILE --arch-hashes prints the architectural\n"
       "               end-state digests (the refactor-guard golden format)\n");
 }
@@ -673,11 +809,24 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  // Validate the command before touching any flags so `spectrebench bogus
+  // --bogus` reports the actual problem.
+  const CommandSpec* spec = FindCommandSpec(command);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+    PrintUsage();
+    return 2;
+  }
   CliOptions options;
   for (int i = 2; i < argc; i++) {
     const std::string arg = argv[i];
+    if (!FlagAllowed(*spec, arg)) {
+      return RejectFlag(command, *spec, arg);
+    }
     if (arg == "--fast") {
       options.fast = true;
+    } else if (arg == "--cross-validate") {
+      options.cross_validate = true;
     } else if (arg == "--json") {
       options.json = true;
     } else if (arg == "--csv") {
@@ -702,15 +851,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--seeds=", 0) == 0) {
-      char* end = nullptr;
-      options.seed_begin = std::strtoull(arg.c_str() + 8, &end, 10);
-      if (end == nullptr || *end != ':') {
-        std::fprintf(stderr, "--seeds= wants A:B (B exclusive), got %s\n", arg.c_str());
-        return 2;
-      }
-      options.seed_end = std::strtoull(end + 1, nullptr, 10);
-      if (options.seed_end < options.seed_begin) {
-        std::fprintf(stderr, "--seeds= range is empty: %s\n", arg.c_str());
+      const std::string value = arg.substr(8);
+      std::string error;
+      if (!ParseSeedRange(value, &options.seed_begin, &options.seed_end, &error)) {
+        std::fprintf(stderr, "--seeds=%s: %s\n", value.c_str(), error.c_str());
         return 2;
       }
       options.seeds_given = true;
@@ -725,9 +869,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--arch-hashes") {
       options.arch_hashes = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      // Allowlisted but not handled above: a CommandSpec / parser mismatch.
+      std::fprintf(stderr, "internal error: unhandled option %s\n", arg.c_str());
       return 2;
     }
+  }
+  if (options.cross_validate && !options.fast) {
+    std::fprintf(stderr, "--cross-validate requires --fast\n");
+    return 2;
   }
 
   if (command == "list") {
