@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/difftest/difftest.h"
+#include "src/isa/program.h"
 #include "src/uarch/decoded_trace.h"
 
 using namespace specbench;
@@ -47,6 +48,47 @@ TimedReport TimeDifftest(uint64_t seeds, bool fast) {
   timed.report = RunDifftest(options);
   timed.wall_s = Seconds(begin, std::chrono::steady_clock::now());
   return timed;
+}
+
+// No-cliff check for the trace cache's bounded eviction: a hot working set
+// re-referenced between bursts of cold keys must stay resident across many
+// multiples of kMaxEntries. The pre-fix cache wiped the whole table at the
+// capacity boundary, so the hot hit rate cliffed to ~0 every 4096 distinct
+// programs; second-chance eviction keeps it ~1. Returns the hot-set hit
+// rate measured *after* capacity has been exceeded.
+double MeasureHotHitRateAcrossEvictions(TraceCache::Stats* stats_out) {
+  TraceCache& cache = TraceCache::Global();
+  cache.Clear();
+  cache.ResetStats();
+  constexpr int64_t kHot = 64;
+  const auto tagged = [](int64_t tag) {
+    ProgramBuilder b;
+    b.MovImm(0, tag);
+    b.Halt();
+    return b.Build();
+  };
+  for (int64_t h = 0; h < kHot; h++) {
+    cache.Acquire(tagged(h), Uarch::kZen3);
+  }
+  uint64_t hot_hits = 0;
+  uint64_t hot_touches = 0;
+  int64_t next_cold = kHot;
+  // 3x capacity of cold keys, touching the hot set every 256 cold inserts.
+  for (int burst = 0; burst < 3 * static_cast<int>(TraceCache::kMaxEntries) / 256; burst++) {
+    for (int c = 0; c < 256; c++) {
+      cache.Acquire(tagged(next_cold++), Uarch::kZen3);
+    }
+    const uint64_t hits_before = cache.stats().hits;
+    for (int64_t h = 0; h < kHot; h++) {
+      cache.Acquire(tagged(h), Uarch::kZen3);
+      hot_touches++;
+    }
+    hot_hits += cache.stats().hits - hits_before;
+  }
+  *stats_out = cache.stats();
+  cache.Clear();
+  cache.ResetStats();
+  return hot_touches == 0 ? 0.0 : static_cast<double>(hot_hits) / static_cast<double>(hot_touches);
 }
 
 }  // namespace
@@ -103,6 +145,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Eviction no-cliff check: the bounded-eviction contract, measured past
+  // the capacity boundary. (Runs after the sweep so the sweep's own cache
+  // stats above are not polluted by the synthetic programs.)
+  TraceCache::Stats eviction_stats;
+  const double hot_hit_rate = MeasureHotHitRateAcrossEvictions(&eviction_stats);
+  if (eviction_stats.evictions == 0) {
+    std::fprintf(stderr, "FAIL: eviction check streamed past capacity without evicting\n");
+    return 1;
+  }
+  if (hot_hit_rate < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: hot-set hit rate %.3f cliffs at the capacity boundary "
+                 "(want >= 0.95; wholesale eviction regression?)\n",
+                 hot_hit_rate);
+    return 1;
+  }
+
   const double speedup = detailed.wall_s / fast.wall_s;
   const double cells = static_cast<double>(fast.report.executions);
   char json[2048];
@@ -119,7 +178,9 @@ int main(int argc, char** argv) {
       "  \"fast_instrs_per_s\": %.0f,\n"
       "  \"detailed_cells_per_s\": %.0f,\n"
       "  \"fast_cells_per_s\": %.0f,\n"
-      "  \"trace_cache\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.3f},\n"
+      "  \"trace_cache\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.3f,\n"
+      "                  \"evictions\": %llu, \"collisions\": %llu},\n"
+      "  \"trace_cache_hot_hit_rate_past_capacity\": %.3f,\n"
       "  \"cross_validation\": {\"seeds\": 200, \"divergences\": %llu}\n"
       "}\n",
       static_cast<unsigned long long>(seeds),
@@ -128,7 +189,9 @@ int main(int argc, char** argv) {
       static_cast<double>(fast.report.retired_instructions) / fast.wall_s,
       cells / detailed.wall_s, cells / fast.wall_s,
       static_cast<unsigned long long>(cache.hits), static_cast<unsigned long long>(cache.misses),
-      cache.hit_rate(), static_cast<unsigned long long>(xval_report.divergences.size()));
+      cache.hit_rate(), static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.collisions), hot_hit_rate,
+      static_cast<unsigned long long>(xval_report.divergences.size()));
 
   std::ofstream out(out_path);
   if (!out) {

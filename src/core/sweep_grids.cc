@@ -183,6 +183,34 @@ Sweep BuildDifftestGrid(const DifftestGridOptions& options) {
   return sweep;
 }
 
+bool BuildNamedGrids(const NamedGridOptions& options, Sweep* out, std::string* error) {
+  Sweep sweep;
+  GridOptions grid;
+  grid.sampler = options.sampler;
+  grid.cpus = options.cpus;
+  for (const std::string& name : options.grids) {
+    if (name == "fig2") {
+      sweep.Merge(BuildFigure2Grid(grid));
+    } else if (name == "fig3") {
+      sweep.Merge(BuildFigure3Grid(grid));
+    } else if (name == "sec45") {
+      sweep.Merge(BuildSection45Grid(grid));
+    } else if (name == "difftest") {
+      DifftestGridOptions difftest;
+      difftest.cpus = options.cpus;
+      difftest.seed_begin = options.seed_begin;
+      difftest.seed_end = options.seed_end;
+      difftest.fast = options.fast;
+      sweep.Merge(BuildDifftestGrid(difftest));
+    } else {
+      *error = "unknown grid: \"" + name + "\" (valid: fig2, fig3, sec45, difftest)";
+      return false;
+    }
+  }
+  *out = std::move(sweep);
+  return true;
+}
+
 // --- Runner-backed experiment drivers (declared in experiments.h) -----------
 
 std::vector<AttributionReport> RunFigure2LeBench(const SamplerOptions& options,

@@ -9,6 +9,7 @@
 #ifndef SPECTREBENCH_SRC_CORE_SWEEP_GRIDS_H_
 #define SPECTREBENCH_SRC_CORE_SWEEP_GRIDS_H_
 
+#include <string>
 #include <vector>
 
 #include "src/core/experiments.h"
@@ -42,6 +43,21 @@ struct DifftestGridOptions {
   uint64_t max_instructions = 1'000'000;
 };
 Sweep BuildDifftestGrid(const DifftestGridOptions& options);
+
+// Shared grid-name dispatcher for `spectrebench sweep` and the sweep
+// service: builds and merges the named grids ("fig2", "fig3", "sec45",
+// "difftest") in list order. `seed_begin`/`seed_end`/`fast` only affect the
+// difftest grid; `sampler` only the figure/section grids. Returns false
+// with a one-line reason for an unknown grid name.
+struct NamedGridOptions {
+  std::vector<std::string> grids;
+  std::vector<Uarch> cpus = AllUarches();
+  SamplerOptions sampler;
+  uint64_t seed_begin = 0;
+  uint64_t seed_end = 100;  // exclusive
+  bool fast = false;
+};
+bool BuildNamedGrids(const NamedGridOptions& options, Sweep* out, std::string* error);
 
 // Flattens an attribution report into cell metrics (segments + "total").
 CellOutput CellOutputFromAttribution(const AttributionReport& report);

@@ -15,13 +15,21 @@ Program::Program(std::vector<Instruction> instructions, uint64_t base_vaddr,
 void Program::ComputeDigest() {
   // FNV-1a, field by field, so two programs share a digest exactly when they
   // execute identically (same opcodes, operands, immediates, addressing,
-  // branch targets, base address).
+  // branch targets, base address). A second stream with a different basis
+  // and a SplitMix64-style finalizer per word gives Digest2() — the trace
+  // cache's hit-time collision check (the two hashes only agree on distinct
+  // programs if both 64-bit streams collide at once).
   uint64_t h = 0xcbf29ce484222325ULL;
-  const auto fold = [&h](uint64_t v) {
+  uint64_t h2 = 0x9e3779b97f4a7c15ULL;
+  const auto fold = [&h, &h2](uint64_t v) {
     for (int byte = 0; byte < 8; byte++) {
       h ^= (v >> (byte * 8)) & 0xff;
       h *= 0x100000001b3ULL;
     }
+    uint64_t z = h2 += v + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h2 = z ^ (z >> 31);
   };
   fold(base_vaddr_);
   fold(static_cast<uint64_t>(instructions_.size()));
@@ -38,6 +46,7 @@ void Program::ComputeDigest() {
     fold(static_cast<uint64_t>(in.target));
   }
   digest_ = h;
+  digest2_ = h2;
 }
 
 uint64_t Program::VaddrOf(int32_t index) const {

@@ -50,6 +50,12 @@ class Program {
   // affect what executes.
   uint64_t Digest() const { return digest_; }
 
+  // Independent second hash over the same fields (different basis, SplitMix64
+  // finalizer). The trace cache verifies it on every hit, so two programs
+  // that collide on Digest() alone can never be served each other's decoded
+  // trace — a wrong trace would require a simultaneous 128-bit collision.
+  uint64_t Digest2() const { return digest2_; }
+
  private:
   void ComputeDigest();
 
@@ -57,6 +63,7 @@ class Program {
   uint64_t base_vaddr_ = kDefaultCodeBase;
   std::map<std::string, int32_t> symbols_;
   uint64_t digest_ = 0;
+  uint64_t digest2_ = 0;
 };
 
 // Label handle produced by ProgramBuilder::NewLabel.

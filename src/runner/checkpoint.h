@@ -1,0 +1,120 @@
+// Crash-safe sweep checkpoints: an append-only journal of completed cells.
+//
+// A sweep run with `--checkpoint=FILE` appends one fsynced record per
+// finished cell. Kill the process at any instant — mid-record, mid-fsync —
+// and the journal reloads to exactly the set of cells whose record was
+// durably framed; at most the trailing record is lost. A `--resume` run
+// loads the journal, skips every completed cell, and appends the rest, so a
+// crash costs one cell of work, never the sweep.
+//
+// Format (text, line-framed, self-checking):
+//
+//   spectrebench-journal v1 base_seed=<u64> grid=<hex64> cells=<u64>
+//   cell <checksum-hex> <payload>
+//   ...
+//
+// The payload is tab-separated with percent-encoded strings; doubles are
+// serialized as the hex of their bit pattern, so a reloaded cell is
+// *bit-identical* to the freshly-computed one — which is what lets a merged
+// or resumed sweep emit byte-identical JSON/CSV to the one-shot run. Each
+// record carries its FNV-1a checksum; a record that fails the check (a torn
+// final write) is tolerated at the tail and rejected anywhere else.
+//
+// `grid` is a digest of the full grid's cell keys in registration order:
+// resuming or merging against a different grid (changed --cpus, --seeds,
+// grid list, ...) is an error, not silent garbage.
+#ifndef SPECTREBENCH_SRC_RUNNER_CHECKPOINT_H_
+#define SPECTREBENCH_SRC_RUNNER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/runner/sweep.h"
+
+namespace specbench {
+
+struct JournalHeader {
+  uint64_t base_seed = 0;
+  uint64_t grid_digest = 0;
+  uint64_t total_cells = 0;
+
+  bool operator==(const JournalHeader& other) const {
+    return base_seed == other.base_seed && grid_digest == other.grid_digest &&
+           total_cells == other.total_cells;
+  }
+};
+
+// The journal's first line (without trailing newline) — public so the
+// service client can write journals that LoadCheckpoint / merge accept.
+std::string SerializeJournalHeader(const JournalHeader& header);
+
+// One journal line (without trailing newline) for a completed cell.
+// `index` is the cell's registration index in the *full* grid — globally
+// consistent across shards, which is what makes merge a sort.
+std::string SerializeCellRecord(size_t index, const SweepCellResult& cell);
+// Parses a "cell ..." line (checksum verified). Returns false on any
+// malformed or corrupt input.
+bool ParseCellRecord(const std::string& line, size_t* index, SweepCellResult* cell,
+                     std::string* error);
+
+// Everything a journal reloads to.
+struct CheckpointData {
+  JournalHeader header;
+  std::map<size_t, SweepCellResult> cells;  // by full-grid registration index
+  // True if the file ended in a torn record (crash mid-append). The torn
+  // bytes start at `valid_bytes`; a resuming writer truncates there.
+  bool truncated_tail = false;
+  uint64_t valid_bytes = 0;
+};
+
+// Loads `path`. Returns false (with a reason) for a missing file, a bad
+// header, a mismatched duplicate record, or corruption anywhere but the
+// tail. A torn tail is not an error — see CheckpointData::truncated_tail.
+bool LoadCheckpoint(const std::string& path, CheckpointData* out, std::string* error);
+
+// Appends completed-cell records to a journal, fsyncing each one so a
+// SIGKILL never loses a framed record.
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  // Creates `path` (truncating any previous file) and writes the header.
+  bool Create(const std::string& path, const JournalHeader& header, std::string* error);
+  // Opens `path` for resumption: the existing header must equal `header`,
+  // and any torn tail record is truncated away before appending resumes.
+  // `loaded` must be the result of LoadCheckpoint on the same path.
+  bool OpenForResume(const std::string& path, const JournalHeader& header,
+                     const CheckpointData& loaded, std::string* error);
+
+  // Appends one record and fsyncs. Thread-safe via external serialization:
+  // the sweep runner invokes it from its on_cell_done hook, which is already
+  // serialized.
+  bool Append(size_t index, const SweepCellResult& cell);
+
+  bool is_open() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Overlays previously-checkpointed cells onto a sweep result whose skipped
+// slots hold only key and seed. Checks that a checkpointed cell agrees with
+// the slot's key/seed (a grid-digest near-miss would be a bug).
+bool OverlayCheckpoint(const CheckpointData& data, SweepResult* result, std::string* error);
+
+// Merges N shard journals (all sharing one header) into the full-grid
+// SweepResult, byte-identical to the one-shot run. Every index in
+// [0, total_cells) must appear exactly once across the inputs; duplicate
+// indices are tolerated only if their records are identical (a shard rerun).
+bool MergeCheckpoints(const std::vector<std::string>& paths, SweepResult* out,
+                      std::string* error);
+
+}  // namespace specbench
+
+#endif  // SPECTREBENCH_SRC_RUNNER_CHECKPOINT_H_

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -65,39 +67,84 @@ void Sweep::Retain(const std::function<bool(const SweepCellKey&)>& keep) {
   cells_ = std::move(kept);
 }
 
+uint64_t Sweep::GridDigest() const {
+  uint64_t h = kFnv1aBasis;
+  for (const Cell& cell : cells_) {
+    h = Fnv1a64(cell.key.cpu, h);
+    h = Fnv1a64("\x1f", h);
+    h = Fnv1a64(cell.key.config, h);
+    h = Fnv1a64("\x1f", h);
+    h = Fnv1a64(cell.key.workload, h);
+    h = Fnv1a64("\x1e", h);  // record separator between cells
+  }
+  h = Fnv1a64(std::to_string(cells_.size()), h);
+  return h;
+}
+
 SweepResult Sweep::Run(const RunnerOptions& options) const {
   SweepResult result;
   result.base_seed = options.base_seed;
   result.cells.resize(cells_.size());
 
-  ThreadPool pool(options.jobs <= 0 ? 0 : static_cast<size_t>(options.jobs));
-  std::atomic<size_t> completed{0};
-  std::mutex progress_mu;
+  // Keys and seeds are filled for every slot — including ones a shard or
+  // resume run skips — in registration order, before any cell executes.
+  // Seeds depend only on (base_seed, key), so scheduling, sharding, and
+  // skipping cannot influence them.
+  size_t selected = 0;
   for (size_t i = 0; i < cells_.size(); i++) {
-    // Seeds depend only on (base_seed, key): derived up front, in
-    // registration order, so scheduling cannot influence them.
-    const uint64_t seed = CellSeed(options.base_seed, cells_[i].key.cpu, cells_[i].key.config,
-                                   cells_[i].key.workload);
+    result.cells[i].key = cells_[i].key;
+    result.cells[i].seed = CellSeed(options.base_seed, cells_[i].key.cpu, cells_[i].key.config,
+                                    cells_[i].key.workload);
+    if (!options.should_run || options.should_run(i)) {
+      selected++;
+    }
+  }
+
+  // Private pool unless the caller multiplexes this batch onto a shared one
+  // (service mode). With a shared pool, Run cannot Wait() for the whole pool
+  // to drain — other batches may still be queued — so completion is tracked
+  // per batch with a counter + condvar either way.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    owned_pool =
+        std::make_unique<ThreadPool>(options.jobs <= 0 ? 0 : static_cast<size_t>(options.jobs));
+    pool = owned_pool.get();
+  }
+  std::atomic<size_t> completed{0};
+  std::mutex done_mu;  // serializes progress lines and the on_cell_done hook
+  std::condition_variable batch_done;
+  size_t remaining = selected;
+  for (size_t i = 0; i < cells_.size(); i++) {
+    if (options.should_run && !options.should_run(i)) {
+      continue;
+    }
     SweepCellResult* slot = &result.cells[i];
     const Cell* cell = &cells_[i];
-    pool.Submit([this, slot, cell, seed, &options, &completed, &progress_mu] {
+    pool->Submit([slot, cell, i, selected, &options, &completed, &done_mu, &batch_done,
+                  &remaining] {
       const auto start = std::chrono::steady_clock::now();
-      slot->key = cell->key;
-      slot->seed = seed;
-      slot->output = cell->run(seed);
+      slot->output = cell->run(slot->seed);
       slot->wall_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
       const size_t done = completed.fetch_add(1) + 1;
+      std::lock_guard<std::mutex> lock(done_mu);
       if (options.progress) {
-        std::lock_guard<std::mutex> lock(progress_mu);
-        std::fprintf(stderr, "[%zu/%zu] %s/%s/%s %.1f ms\n", done, size(),
+        std::fprintf(stderr, "[%zu/%zu] %s/%s/%s %.1f ms\n", done, selected,
                      cell->key.cpu.c_str(), cell->key.config.c_str(),
                      cell->key.workload.c_str(), slot->wall_ms);
       }
+      if (options.on_cell_done) {
+        options.on_cell_done(i, *slot);
+      }
+      if (--remaining == 0) {
+        batch_done.notify_all();
+      }
     });
   }
-  pool.Wait();
+  std::unique_lock<std::mutex> lock(done_mu);
+  batch_done.wait(lock, [&remaining] { return remaining == 0; });
   return result;
 }
 

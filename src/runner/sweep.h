@@ -71,6 +71,23 @@ struct RunnerOptions {
   // Per-cell progress lines ("[3/24] Zen 3/attribution/lebench 41.2 ms")
   // on stderr.
   bool progress = false;
+  // Cell selection for sharded / resumed runs: when set, only cells whose
+  // registration index passes are executed. Skipped slots still get their
+  // key and seed filled (seeds are index-independent pure functions, so a
+  // skipped cell's seed is exactly what a one-shot run would use), letting
+  // the caller overlay previously-checkpointed outputs and emit a result
+  // byte-identical to the unsharded run.
+  std::function<bool(size_t cell_index)> should_run;
+  // Completion hook for checkpointing: invoked once per *executed* cell,
+  // serialized under an internal mutex (safe to append to a journal from).
+  // Called on worker threads, in completion order — consumers must not
+  // assume index order.
+  std::function<void(size_t cell_index, const SweepCellResult& cell)> on_cell_done;
+  // Shared pool for service mode: when set, cells are submitted to this
+  // pool (multiplexing with other concurrent Run() calls) and Run tracks
+  // its own batch's completion instead of draining the pool. When null,
+  // Run owns a private pool of `jobs` workers as before.
+  class ThreadPool* pool = nullptr;
 };
 
 // Geometric-mean rollup of one metric over a group of cells.
@@ -113,6 +130,12 @@ class Sweep {
 
   size_t size() const { return cells_.size(); }
   const SweepCellKey& key(size_t i) const { return cells_[i].key; }
+
+  // FNV-1a digest of every cell key in registration order (plus the count).
+  // Shard journals and resumable checkpoints embed it so that merging or
+  // resuming against a *different* grid (changed cpus, seeds, grid list) is
+  // an error instead of silently mixed results.
+  uint64_t GridDigest() const;
 
   // Executes every cell on the pool and returns results in registration
   // order. Safe to call repeatedly (each run re-derives seeds).

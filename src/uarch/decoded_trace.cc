@@ -98,7 +98,7 @@ DecodedOp DecodeOne(const Instruction& instr) {
 }  // namespace
 
 DecodedTrace::DecodedTrace(const Program& program, Uarch uarch)
-    : program_digest_(program.Digest()), uarch_(uarch) {
+    : program_digest_(program.Digest()), program_check_(program.Digest2()), uarch_(uarch) {
   ops_.reserve(static_cast<size_t>(program.size()));
   for (int32_t i = 0; i < program.size(); i++) {
     ops_.push_back(DecodeOne(program.at(i)));
@@ -112,16 +112,32 @@ TraceCache& TraceCache::Global() {
 
 std::shared_ptr<const DecodedTrace> TraceCache::Acquire(const Program& program,
                                                         Uarch uarch) {
-  const std::pair<uint64_t, Uarch> key{program.Digest(), uarch};
+  return AcquireImpl(program, uarch, program.Digest());
+}
+
+std::shared_ptr<const DecodedTrace> TraceCache::AcquireWithDigestForTesting(
+    const Program& program, Uarch uarch, uint64_t forced_digest) {
+  return AcquireImpl(program, uarch, forced_digest);
+}
+
+std::shared_ptr<const DecodedTrace> TraceCache::AcquireImpl(const Program& program,
+                                                            Uarch uarch, uint64_t digest) {
+  const std::pair<uint64_t, Uarch> key{digest, uarch};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
-    // Digest collisions aside (64-bit FNV over every field), a same-digest
-    // program of a different length would be a decode of the wrong program;
-    // treat it as a miss and overwrite.
-    if (it != entries_.end() && it->second->size() == program.size()) {
-      hits_++;
-      return it->second;
+    if (it != entries_.end()) {
+      // A hit must also match length and the independent Digest2 stream:
+      // a same-digest different program must never be handed the wrong
+      // decoded trace. A mismatch is a collision — fall through to decode
+      // and overwrite the colliding entry.
+      if (it->second.trace->size() == program.size() &&
+          it->second.trace->program_check() == program.Digest2()) {
+        hits_++;
+        it->second.referenced = true;
+        return it->second.trace;
+      }
+      collisions_++;
     }
   }
   // Decode outside the lock: concurrent sweep cells decoding different
@@ -129,11 +145,44 @@ std::shared_ptr<const DecodedTrace> TraceCache::Acquire(const Program& program,
   auto trace = std::make_shared<const DecodedTrace>(program, uarch);
   std::lock_guard<std::mutex> lock(mu_);
   misses_++;
-  if (entries_.size() >= kMaxEntries) {
-    entries_.clear();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Collision overwrite (or a concurrent decode of the same program beat
+    // us here — either way the freshly-decoded trace is the right value).
+    it->second = Entry{trace, false};
+    return trace;
   }
-  entries_[key] = trace;
+  if (entries_.size() >= kMaxEntries) {
+    EvictOneLocked();
+  }
+  entries_[key] = Entry{trace, false};
   return trace;
+}
+
+void TraceCache::EvictOneLocked() {
+  // Second-chance clock: resume the sweep where it last stopped, give every
+  // referenced entry one more round (clear the bit, move on), evict the
+  // first unreferenced entry. Worst case one full lap (all referenced)
+  // degrades to FIFO — still one eviction per insert, never a wipe.
+  auto hand = clock_valid_ ? entries_.lower_bound(clock_) : entries_.begin();
+  for (;;) {
+    if (hand == entries_.end()) {
+      hand = entries_.begin();
+    }
+    if (!hand->second.referenced) {
+      break;
+    }
+    hand->second.referenced = false;
+    ++hand;
+  }
+  auto next = entries_.erase(hand);
+  evictions_++;
+  if (next == entries_.end()) {
+    clock_valid_ = false;
+  } else {
+    clock_ = next->first;
+    clock_valid_ = true;
+  }
 }
 
 TraceCache::Stats TraceCache::stats() const {
@@ -142,6 +191,8 @@ TraceCache::Stats TraceCache::stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.entries = entries_.size();
+  stats.evictions = evictions_;
+  stats.collisions = collisions_;
   return stats;
 }
 
@@ -149,11 +200,14 @@ void TraceCache::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+  collisions_ = 0;
 }
 
 void TraceCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  clock_valid_ = false;
 }
 
 }  // namespace specbench

@@ -8,6 +8,7 @@
 //   spectrebench sweep [--grids=fig2,fig3,sec45] [--jobs=N] [--seed=S] [--csv]
 //   spectrebench attacks [--cpus=...]
 //   spectrebench difftest [--seeds=A:B] [--cpus=...] [--configs=...] [--jobs=N]
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -31,6 +32,9 @@
 #include "src/core/counters.h"
 #include "src/core/experiments.h"
 #include "src/core/sweep_grids.h"
+#include "src/runner/checkpoint.h"
+#include "src/runner/service.h"
+#include "src/runner/shard.h"
 #include "src/util/check.h"
 #include "src/workload/lebench.h"
 #include "src/workload/octane.h"
@@ -63,6 +67,14 @@ struct CliOptions {
   std::string corpus_out;              // directory for shrunk reproducers
   std::string replay;                  // corpus file to replay instead
   bool arch_hashes = false;            // replay: print arch end-state hashes
+  // Sharded / checkpointed sweep options.
+  ShardSpec shard;                     // sweep/submit: slice of the grid
+  std::string checkpoint;              // sweep: journal file; submit: output
+  bool resume = false;                 // sweep: reload journal, run the rest
+  std::vector<std::string> inputs;     // merge: shard journals to combine
+  std::string socket_path;             // serve/submit: unix socket path
+  bool ping = false;                   // submit: liveness probe only
+  bool send_shutdown = false;          // submit: stop the server
 };
 
 // Strict --seeds=A:B parser: both endpoints must be decimal numbers with no
@@ -138,7 +150,12 @@ const std::vector<CommandSpec>& CommandSpecs() {
       {"fig2-kernels", {"--cpus"}},
       {"sweep",
        {"--fast", "--csv", "--quiet", "--jobs", "--seed", "--seeds", "--cpus", "--grids",
-        "--workloads", "--configs"}},
+        "--workloads", "--configs", "--shard", "--checkpoint", "--resume"}},
+      {"merge", {"--inputs", "--csv"}},
+      {"serve", {"--socket", "--jobs", "--quiet"}},
+      {"submit",
+       {"--socket", "--grids", "--seeds", "--cpus", "--workloads", "--configs", "--seed",
+        "--fast", "--shard", "--checkpoint", "--ping", "--shutdown"}},
       {"counters", {"--cpus", "--workloads", "--boot-params", "--strict-boot-params"}},
       {"attacks", {"--cpus"}},
       {"analyze", {"--json", "--cpus"}},
@@ -215,9 +232,9 @@ bool Contains(const std::vector<std::string>& haystack, const std::string& needl
   return false;
 }
 
-SamplerOptions SamplerFor(const CliOptions& options) {
+SamplerOptions SamplerForFast(bool fast) {
   SamplerOptions sampler;
-  if (options.fast) {
+  if (fast) {
     sampler.min_samples = 3;
     sampler.max_samples = 6;
     sampler.target_relative_ci = 0.03;
@@ -228,6 +245,8 @@ SamplerOptions SamplerFor(const CliOptions& options) {
   }
   return sampler;
 }
+
+SamplerOptions SamplerFor(const CliOptions& options) { return SamplerForFast(options.fast); }
 
 std::vector<Uarch> ParseCpuList(const std::string& list) {
   std::vector<Uarch> cpus;
@@ -311,60 +330,290 @@ void EmitArchHashes(const Program& program, const std::vector<Uarch>& cpus,
   }
 }
 
+// Builds the grid a sweep/serve request names, with workload/config filters
+// applied. Shared between `sweep` and the serve-mode GridFactory so a
+// service batch is cell-for-cell the grid the one-shot command would run.
+bool BuildFilteredSweep(const std::vector<std::string>& grids, const std::vector<Uarch>& cpus,
+                        bool fast, uint64_t seed_begin, uint64_t seed_end,
+                        const std::vector<std::string>& workloads,
+                        const std::vector<std::string>& configs, Sweep* out, std::string* error) {
+  NamedGridOptions grid;
+  grid.grids = grids;
+  grid.cpus = cpus;
+  grid.sampler = SamplerForFast(fast);
+  grid.seed_begin = seed_begin;
+  grid.seed_end = seed_end;
+  grid.fast = fast;
+  if (!BuildNamedGrids(grid, out, error)) {
+    return false;
+  }
+  if (!workloads.empty()) {
+    out->Retain([&](const SweepCellKey& key) { return Contains(workloads, key.workload); });
+  }
+  if (!configs.empty()) {
+    out->Retain([&](const SweepCellKey& key) { return Contains(configs, key.config); });
+  }
+  if (out->size() == 0) {
+    *error = "cell selection matched nothing";
+    return false;
+  }
+  return true;
+}
+
 // Deterministic parallel sweep over the registered experiment grids. The
 // JSON/CSV on stdout is byte-identical for any --jobs value; progress and
-// per-cell wall times go to stderr.
+// per-cell wall times go to stderr. With --checkpoint the run journals
+// every completed cell (crash-safe, resumable with --resume); with
+// --shard=i/N it executes only its slice, and stdout output is deferred to
+// `spectrebench merge` unless this run completes the whole grid.
 int RunSweep(const CliOptions& options) {
-  GridOptions grid;
-  grid.sampler = SamplerFor(options);
-  grid.cpus = options.cpus;
+  if (!options.shard.IsFullGrid() && options.checkpoint.empty()) {
+    std::fprintf(stderr, "sweep: --shard requires --checkpoint (the shard's results have to "
+                         "land somewhere a merge can read)\n");
+    return 2;
+  }
+  if (options.resume && options.checkpoint.empty()) {
+    std::fprintf(stderr, "sweep: --resume requires --checkpoint\n");
+    return 2;
+  }
 
   Sweep sweep;
-  for (const std::string& name : options.grids) {
-    if (name == "fig2") {
-      sweep.Merge(BuildFigure2Grid(grid));
-    } else if (name == "fig3") {
-      sweep.Merge(BuildFigure3Grid(grid));
-    } else if (name == "sec45") {
-      sweep.Merge(BuildSection45Grid(grid));
-    } else if (name == "difftest") {
-      DifftestGridOptions difftest;
-      difftest.cpus = options.cpus;
-      difftest.seed_begin = options.seed_begin;
-      difftest.seed_end = options.seed_end;
-      difftest.fast = options.fast;
-      sweep.Merge(BuildDifftestGrid(difftest));
-    } else {
-      std::fprintf(stderr, "unknown grid: \"%s\" (valid: fig2, fig3, sec45, difftest)\n",
-                   name.c_str());
+  std::string error;
+  if (!BuildFilteredSweep(options.grids, options.cpus, options.fast, options.seed_begin,
+                          options.seed_end, options.workloads, options.configs, &sweep, &error)) {
+    std::fprintf(stderr, "sweep: %s\n", error.c_str());
+    return 2;
+  }
+
+  const JournalHeader header{options.seed, sweep.GridDigest(), sweep.size()};
+  CheckpointWriter writer;
+  CheckpointData loaded;
+  std::vector<bool> have(sweep.size(), false);
+  if (!options.checkpoint.empty()) {
+    if (options.resume) {
+      if (!LoadCheckpoint(options.checkpoint, &loaded, &error)) {
+        std::fprintf(stderr, "sweep: %s\n", error.c_str());
+        return 2;
+      }
+      if (!writer.OpenForResume(options.checkpoint, header, loaded, &error)) {
+        std::fprintf(stderr, "sweep: %s\n", error.c_str());
+        return 2;
+      }
+      for (const auto& [index, cell] : loaded.cells) {
+        have[index] = true;
+      }
+      if (!options.quiet) {
+        std::fprintf(stderr, "sweep: resuming %s (%zu of %zu cells already done%s)\n",
+                     options.checkpoint.c_str(), loaded.cells.size(), sweep.size(),
+                     loaded.truncated_tail ? ", torn tail record discarded" : "");
+      }
+    } else if (!writer.Create(options.checkpoint, header, &error)) {
+      std::fprintf(stderr, "sweep: %s\n", error.c_str());
       return 2;
     }
-  }
-  if (!options.workloads.empty()) {
-    sweep.Retain([&](const SweepCellKey& key) { return Contains(options.workloads, key.workload); });
-  }
-  if (!options.configs.empty()) {
-    sweep.Retain([&](const SweepCellKey& key) { return Contains(options.configs, key.config); });
-  }
-  if (sweep.size() == 0) {
-    std::fprintf(stderr, "sweep: cell selection matched nothing\n");
-    return 2;
   }
 
   RunnerOptions runner;
   runner.jobs = options.jobs;
   runner.base_seed = options.seed;
   runner.progress = !options.quiet;
+  const ShardSpec shard = options.shard;
+  if (!shard.IsFullGrid() || options.resume) {
+    runner.should_run = [&have, shard](size_t i) { return shard.Owns(i) && !have[i]; };
+  }
+  bool journal_ok = true;
+  if (writer.is_open()) {
+    runner.on_cell_done = [&writer, &journal_ok](size_t index, const SweepCellResult& cell) {
+      if (!writer.Append(index, cell)) {
+        journal_ok = false;
+      }
+    };
+  }
   if (!options.quiet) {
     std::fprintf(stderr, "sweep: %zu cells, jobs=%s, seed=%llu\n", sweep.size(),
                  options.jobs <= 0 ? "auto" : std::to_string(options.jobs).c_str(),
                  static_cast<unsigned long long>(options.seed));
   }
-  const SweepResult result = sweep.Run(runner);
+  SweepResult result = sweep.Run(runner);
+  writer.Close();
+  if (!journal_ok) {
+    std::fprintf(stderr, "sweep: failed to append to %s (disk full?)\n",
+                 options.checkpoint.c_str());
+    return 1;
+  }
+  if (options.resume && !OverlayCheckpoint(loaded, &result, &error)) {
+    std::fprintf(stderr, "sweep: %s\n", error.c_str());
+    return 2;
+  }
+
+  // A sharded run only produced its slice: the full-grid output comes from
+  // `spectrebench merge` over all shard journals, so emitting a JSON/CSV
+  // with holes here would just be a trap.
+  bool complete = true;
+  for (size_t i = 0; i < sweep.size(); i++) {
+    if (!have[i] && !shard.Owns(i)) {
+      complete = false;
+      break;
+    }
+  }
+  if (!complete) {
+    size_t journaled = loaded.cells.size();
+    for (size_t i = 0; i < sweep.size(); i++) {
+      if (shard.Owns(i) && !have[i]) {
+        journaled++;
+      }
+    }
+    std::fprintf(stderr,
+                 "sweep: shard %u/%u checkpointed %zu of %zu cells to %s; run "
+                 "`spectrebench merge --inputs=...` over all shard journals for the "
+                 "full-grid output\n",
+                 shard.index, shard.count, journaled, sweep.size(), options.checkpoint.c_str());
+    return 0;
+  }
   std::printf("%s", options.csv ? result.ToCsv().c_str() : result.ToJson().c_str());
 
   if (!options.quiet) {
     std::fprintf(stderr, "sweep: done, %.1f ms of cell work\n", result.total_wall_ms());
+  }
+  return 0;
+}
+
+// Combines N shard journals into the full-grid output, byte-identical to
+// the one-shot `sweep --jobs=1` run (the cross-process determinism
+// contract: same seeds, bit-exact doubles, registration-order emit).
+int RunMerge(const CliOptions& options) {
+  if (options.inputs.empty()) {
+    std::fprintf(stderr, "merge: --inputs=a.journal,b.journal,... is required\n");
+    return 2;
+  }
+  SweepResult result;
+  std::string error;
+  if (!MergeCheckpoints(options.inputs, &result, &error)) {
+    std::fprintf(stderr, "merge: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s", options.csv ? result.ToCsv().c_str() : result.ToJson().c_str());
+  return 0;
+}
+
+// Long-running sweep service on a Unix socket: all client batches share one
+// thread pool (see src/runner/service.h for the wire protocol).
+int RunServe(const CliOptions& options) {
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "serve: --socket=PATH is required\n");
+    return 2;
+  }
+  ServiceOptions service_options;
+  service_options.socket_path = options.socket_path;
+  service_options.jobs = options.jobs;
+  service_options.quiet = options.quiet;
+  const GridFactory factory = [](const ServiceRequest& request, Sweep* out, std::string* error) {
+    std::vector<Uarch> cpus;
+    if (request.cpus.empty()) {
+      cpus = AllUarches();
+    } else {
+      for (const std::string& name : request.cpus) {
+        const CpuModel* model = TryGetCpuModelByName(name);
+        if (model == nullptr) {
+          *error = "unknown CPU model \"" + name + "\"";
+          return false;
+        }
+        cpus.push_back(model->uarch);
+      }
+    }
+    if (request.seed_end <= request.seed_begin) {
+      *error = "empty difftest seed range";
+      return false;
+    }
+    return BuildFilteredSweep(request.grids, cpus, request.fast, request.seed_begin,
+                              request.seed_end, request.workloads, request.configs, out, error);
+  };
+  SweepService service(std::move(service_options), factory);
+  std::string error;
+  if (!service.Start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 2;
+  }
+  service.Serve();
+  return 0;
+}
+
+// Service client: submits one batch and writes the streamed records back
+// out as a journal (sorted by cell index, so the bytes are deterministic),
+// ready for `spectrebench merge`.
+int RunSubmit(const CliOptions& options) {
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "submit: --socket=PATH is required\n");
+    return 2;
+  }
+  std::string ok_line;
+  std::vector<std::string> reply;
+  std::string error;
+  if (options.ping || options.send_shutdown) {
+    const std::string command = options.ping ? "ping" : "shutdown";
+    if (!SubmitRequestLine(options.socket_path, command, &ok_line, &reply, &error)) {
+      std::fprintf(stderr, "submit: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", ok_line.c_str());
+    return 0;
+  }
+
+  ServiceRequest request;
+  request.grids = options.grids;
+  if (options.cpus_given) {
+    for (Uarch u : options.cpus) {
+      request.cpus.push_back(UarchName(u));
+    }
+  }
+  request.workloads = options.workloads;
+  request.configs = options.configs;
+  request.base_seed = options.seed;
+  request.seed_begin = options.seed_begin;
+  request.seed_end = options.seed_end;
+  request.fast = options.fast;
+  request.shard = options.shard;
+  if (!SubmitRequestLine(options.socket_path, SerializeServiceRequest(request), &ok_line, &reply,
+                         &error)) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    return 1;
+  }
+
+  // The ok line carries the journal-header fields; the cell lines arrive in
+  // completion order and are re-sorted by index for byte-stable output.
+  unsigned long long cells = 0, base_seed = 0, grid = 0, total = 0;
+  if (std::sscanf(ok_line.c_str(), "ok cells=%llu base_seed=%llu grid=%16llx total=%llu", &cells,
+                  &base_seed, &grid, &total) != 4) {
+    std::fprintf(stderr, "submit: malformed ok line \"%s\"\n", ok_line.c_str());
+    return 1;
+  }
+  std::vector<std::pair<size_t, std::string>> records;
+  records.reserve(reply.size());
+  for (const std::string& line : reply) {
+    size_t index = 0;
+    SweepCellResult cell;
+    if (!ParseCellRecord(line, &index, &cell, &error)) {
+      std::fprintf(stderr, "submit: bad cell record from server: %s\n", error.c_str());
+      return 1;
+    }
+    records.emplace_back(index, line);
+  }
+  std::sort(records.begin(), records.end());
+  const JournalHeader header{base_seed, grid, total};
+  std::string journal = SerializeJournalHeader(header) + "\n";
+  for (const auto& [index, line] : records) {
+    journal += line + "\n";
+  }
+  if (options.checkpoint.empty()) {
+    std::printf("%s", journal.c_str());
+  } else {
+    std::ofstream out(options.checkpoint, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << journal) || !out.flush()) {
+      std::fprintf(stderr, "submit: cannot write %s\n", options.checkpoint.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "submit: wrote %zu records to %s\n", records.size(),
+                 options.checkpoint.c_str());
   }
   return 0;
 }
@@ -770,7 +1019,23 @@ void PrintUsage() {
       "               [--seed=S] [--workloads=a,b] [--configs=c] [--csv]\n"
       "               [--quiet]; the difftest grid takes [--seeds=A:B]\n"
       "               [--fast]; JSON/CSV on stdout is byte-identical for\n"
-      "               any --jobs and for --fast vs detailed\n"
+      "               any --jobs and for --fast vs detailed;\n"
+      "               [--checkpoint=FILE] journals each finished cell\n"
+      "               (crash-safe, fsynced) and [--resume] restarts a killed\n"
+      "               run from the journal; [--shard=i/N] runs slice i of N\n"
+      "               (requires --checkpoint; combine the journals with merge)\n"
+      "  merge        combine shard journals into the full-grid output,\n"
+      "               byte-identical to the one-shot sweep:\n"
+      "               --inputs=a.journal,b.journal,... [--csv]\n"
+      "  serve        sweep-as-a-service on a Unix socket; client batches\n"
+      "               share one thread pool: --socket=PATH [--jobs=N]\n"
+      "               [--quiet] (protocol: src/runner/service.h;\n"
+      "               docs/runner.md)\n"
+      "  submit       client for serve: sends one sweep batch and writes the\n"
+      "               returned records as a journal for merge: --socket=PATH\n"
+      "               [sweep grid/filter flags] [--shard=i/N]\n"
+      "               [--checkpoint=FILE (default stdout)] | --ping |\n"
+      "               --shutdown\n"
       "  counters     per-mitigation cycle counters from the uarch event bus:\n"
       "               [--cpus=...] [--workloads=lebench:getpid,octane:richards]\n"
       "               [--boot-params=nopti,mds=off,...] [--strict-boot-params];\n"
@@ -868,6 +1133,25 @@ int main(int argc, char** argv) {
       options.replay = arg.substr(9);
     } else if (arg == "--arch-hashes") {
       options.arch_hashes = true;
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      std::string error;
+      if (!ParseShardSpec(value, &options.shard, &error)) {
+        std::fprintf(stderr, "--shard=%s: %s\n", value.c_str(), error.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      options.checkpoint = arg.substr(13);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg.rfind("--inputs=", 0) == 0) {
+      options.inputs = SplitCsv(arg.substr(9));
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = arg.substr(9);
+    } else if (arg == "--ping") {
+      options.ping = true;
+    } else if (arg == "--shutdown") {
+      options.send_shutdown = true;
     } else {
       // Allowlisted but not handled above: a CommandSpec / parser mismatch.
       std::fprintf(stderr, "internal error: unhandled option %s\n", arg.c_str());
@@ -970,6 +1254,15 @@ int main(int argc, char** argv) {
   }
   if (command == "sweep") {
     return RunSweep(options);
+  }
+  if (command == "merge") {
+    return RunMerge(options);
+  }
+  if (command == "serve") {
+    return RunServe(options);
+  }
+  if (command == "submit") {
+    return RunSubmit(options);
   }
   if (command == "counters") {
     return RunCounters(options);
