@@ -17,7 +17,28 @@ constexpr uint64_t kArrayBase = 0x42000000;   // V1 victim array
 constexpr uint64_t kArrayLen = 16;
 constexpr uint64_t kSecretSlot = 0x43000000;  // where the secret value lives
 constexpr uint64_t kPtrSlot = 0x44000000;     // V2 function pointer
+constexpr uint64_t kNoiseBase = 0x45000000;   // benign MDS victim fills
 constexpr uint64_t kStackTop = 0x48000000;
+constexpr uint64_t kMdsSampleBase = 0x50000000;  // unmapped sampling page
+
+// Leak-rate trial parameters derived from a salt (0 = canonical attack):
+// how many benign victim fills ride alongside the secret, and where within
+// the unmapped page the attacker's sampling load lands (the FillBuffers
+// Sample salt — varying it varies which resident entry the sample hits).
+uint32_t NoiseFillCount(uint64_t trial_salt) {
+  return trial_salt == 0 ? 0 : 1 + static_cast<uint32_t>(trial_salt % 3);
+}
+
+uint64_t SampleVaddr(uint64_t trial_salt) {
+  // 61 * 64 < kPageBytes, so every offset stays inside the unmapped page.
+  return kMdsSampleBase + (trial_salt == 0 ? 0 : 64 * ((trial_salt >> 8) % 61));
+}
+
+// Values the benign fills carry: in-range but never the secret, so a trial
+// that samples one of them recovers a wrong value rather than leaking.
+uint64_t NoiseValue(uint64_t secret, uint32_t i) {
+  return (secret + 1 + i) % kCandidates;
+}
 
 // Emits "r(dst) = probe[r(value_reg) * 4096]" — the cache-encoding load.
 void EmitEncode(ProgramBuilder& b, uint8_t value_reg, uint8_t scratch, uint8_t dst) {
@@ -293,14 +314,15 @@ AttackResult RunMeltdownAttack(const CpuModel& cpu, bool pti, uint64_t secret) {
   return Finish(m, secret);
 }
 
-AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret) {
+AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret,
+                          uint64_t trial_salt) {
   SPECBENCH_CHECK(secret < kCandidates);
   Machine m(cpu);
   class MdsMap : public MemoryMap {
    public:
     Translation Translate(uint64_t vaddr, uint64_t, Mode) const override {
       Translation t;
-      if (vaddr >= 0x50000000 && vaddr < 0x50000000 + kPageBytes) {
+      if (vaddr >= kMdsSampleBase && vaddr < kMdsSampleBase + kPageBytes) {
         return t;  // the attacker's unmapped sampling address
       }
       t.mapped = true;
@@ -315,9 +337,15 @@ AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret)
   m.SetMemoryMap(&map);
 
   ProgramBuilder b;
-  // Victim: load the secret (fills a line-fill buffer).
+  // Victim: load the secret (fills a line-fill buffer), plus any benign
+  // trial fills — cold lines, so each load refills another buffer entry.
+  const uint32_t noise = NoiseFillCount(trial_salt);
   b.MovImm(12, static_cast<int64_t>(kSecretSlot));
   b.Load(13, MemRef{.base = 12});
+  for (uint32_t i = 0; i < noise; i++) {
+    b.MovImm(9, static_cast<int64_t>(kNoiseBase + 64 * i));
+    b.Load(10, MemRef{.base = 9});
+  }
   b.Lfence();
   if (verw_clear) {
     b.Verw();
@@ -332,7 +360,7 @@ AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret)
   b.BranchNz(2, spec);
   b.Jmp(done);
   b.Bind(spec);
-  b.MovImm(3, 0x50000000);
+  b.MovImm(3, static_cast<int64_t>(SampleVaddr(trial_salt)));
   b.Load(4, MemRef{.base = 3});
   EmitEncode(b, 4, 5, 6);
   b.Bind(done);
@@ -340,6 +368,9 @@ AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret)
   Program p = b.Build();
   m.LoadProgram(&p);
   m.PokeData(kSecretSlot, secret);
+  for (uint32_t i = 0; i < noise; i++) {
+    m.PokeData(kNoiseBase + 64 * i, NoiseValue(secret, i));
+  }
   m.caches().Clflush(kSecretSlot);  // so the victim load refills the LFB
   m.cond_predictor().Train(p.VaddrOf(branch_index), true);
   m.cond_predictor().Train(p.VaddrOf(branch_index), true);
@@ -408,14 +439,14 @@ AttackResult RunSpectreV2SmtAttack(const CpuModel& cpu, bool stibp, uint64_t sec
 }
 
 AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
-                             uint64_t secret) {
+                             uint64_t secret, uint64_t trial_salt) {
   SPECBENCH_CHECK(secret < kCandidates);
   Machine m(cpu);
   class SmtMap : public MemoryMap {
    public:
     Translation Translate(uint64_t vaddr, uint64_t, Mode) const override {
       Translation t;
-      if (vaddr >= 0x50000000 && vaddr < 0x50000000 + kPageBytes) {
+      if (vaddr >= kMdsSampleBase && vaddr < kMdsSampleBase + kPageBytes) {
         return t;  // the attacker's unmapped sampling window
       }
       t.mapped = true;
@@ -432,6 +463,7 @@ AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
   // One program, two threads. The victim repeatedly pulls its secret line
   // through the fill buffers; the attacker runs the one-shot sampling gadget.
   ProgramBuilder b;
+  const uint32_t noise = NoiseFillCount(trial_salt);
   b.BindSymbol("victim");
   Label vloop = b.NewLabel();
   b.MovImm(0, 24);  // iterations
@@ -439,6 +471,13 @@ AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
   b.Bind(vloop);
   b.Load(2, MemRef{.base = 1});
   b.Clflush(MemRef{.base = 1});  // so the next access refills the LFB
+  for (uint32_t i = 0; i < noise; i++) {
+    // Benign victim traffic interleaved with the secret refills, so the
+    // fill-buffer ring holds a mixture and a sample is not a sure leak.
+    b.MovImm(9, static_cast<int64_t>(kNoiseBase + 64 * i));
+    b.Load(10, MemRef{.base = 9});
+    b.Clflush(MemRef{.base = 9});
+  }
   b.AluImm(AluOp::kSub, 0, 0, 1);
   b.BranchNz(0, vloop);
   b.Halt();
@@ -452,7 +491,7 @@ AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
   b.BranchNz(4, spec);
   b.Jmp(done);
   b.Bind(spec);
-  b.MovImm(5, 0x50000000);
+  b.MovImm(5, static_cast<int64_t>(SampleVaddr(trial_salt)));
   b.Load(6, MemRef{.base = 5});  // faulting load -> fill-buffer sample
   EmitEncode(b, 6, 7, 8);
   b.Bind(done);
@@ -461,6 +500,9 @@ AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
   Program p = b.Build();
   m.LoadProgram(&p);
   m.PokeData(kSecretSlot, secret);
+  for (uint32_t i = 0; i < noise; i++) {
+    m.PokeData(kNoiseBase + 64 * i, NoiseValue(secret, i));
+  }
   CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
 
   auto run_attacker_once = [&] {

@@ -51,7 +51,16 @@ AttackResult RunMeltdownAttack(const CpuModel& cpu, bool pti, uint64_t secret = 
 
 // MDS / RIDL: sample stale fill-buffer data. `verw_clear` runs the patched
 // verw between the victim access and the attack.
-AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret = 6);
+//
+// `trial_salt` models attack-to-attack variation for leak-*rate* studies
+// (src/attack/suite.h): a non-zero salt plants one to three benign victim
+// fills alongside the secret and moves the attacker's sampling load within
+// its unmapped page, so which fill-buffer entry the sample hits varies per
+// trial exactly like the paper's §3.3 "cannot target addresses" story.
+// Salt 0 is the canonical single-fill attack (always leaks when
+// unmitigated on vulnerable parts).
+AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret = 6,
+                          uint64_t trial_salt = 0);
 
 // MDS across SMT siblings (paper §3.3): with hyperthreading, the attacker
 // samples fill buffers *while* the victim runs on the same physical core —
@@ -62,8 +71,11 @@ struct MdsSmtOptions {
   bool smt_enabled = true;
   bool verw_on_switch = true;
 };
+// `trial_salt` as in RunMdsAttack: non-zero interleaves benign fills with
+// the victim's secret refills and moves the sampling load, for leak-rate
+// trials; zero reproduces the canonical attack.
 AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
-                             uint64_t secret = 10);
+                             uint64_t secret = 10, uint64_t trial_salt = 0);
 
 // Spectre V2 across SMT siblings: the attacker hyperthread trains the
 // shared BTB; the victim sibling's indirect branch then speculates to the

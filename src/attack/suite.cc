@@ -1,0 +1,450 @@
+#include "src/attack/suite.h"
+
+#include <string>
+
+#include "src/runner/seed.h"
+#include "src/runner/thread_pool.h"
+#include "src/util/check.h"
+
+namespace specbench {
+
+const char* SuiteKnobName(SuiteKnob knob) {
+  switch (knob) {
+    case SuiteKnob::kPti: return "pti";
+    case SuiteKnob::kMdsClearBuffers: return "mds-clear";
+    case SuiteKnob::kSmtOff: return "nosmt";
+    case SuiteKnob::kRetpoline: return "retpoline";
+    case SuiteKnob::kIbrs: return "ibrs";
+    case SuiteKnob::kIbpb: return "ibpb";
+    case SuiteKnob::kRsbStuff: return "rsb-stuff";
+    case SuiteKnob::kLfenceAfterSwapgs: return "lfence-swapgs";
+    case SuiteKnob::kKernelIndexMasking: return "index-masking";
+    case SuiteKnob::kEagerFpu: return "eager-fpu";
+    case SuiteKnob::kL1tfPteInversion: return "pte-inversion";
+    case SuiteKnob::kSsbdAlways: return "ssbd";
+    case SuiteKnob::kCount: break;
+  }
+  return "?";
+}
+
+bool KnobActive(const MitigationConfig& config, SuiteKnob knob) {
+  switch (knob) {
+    case SuiteKnob::kPti: return config.pti;
+    case SuiteKnob::kMdsClearBuffers: return config.mds_clear_buffers;
+    case SuiteKnob::kSmtOff: return config.smt_off;
+    case SuiteKnob::kRetpoline: return config.retpoline != RetpolineMode::kNone;
+    case SuiteKnob::kIbrs: return config.ibrs != IbrsMode::kOff;
+    case SuiteKnob::kIbpb: return config.ibpb_on_context_switch;
+    case SuiteKnob::kRsbStuff: return config.rsb_stuff_on_context_switch;
+    case SuiteKnob::kLfenceAfterSwapgs: return config.lfence_after_swapgs;
+    case SuiteKnob::kKernelIndexMasking: return config.kernel_index_masking;
+    case SuiteKnob::kEagerFpu: return config.eager_fpu;
+    case SuiteKnob::kL1tfPteInversion: return config.l1tf_pte_inversion;
+    case SuiteKnob::kSsbdAlways: return config.ssbd == SsbdMode::kAlways;
+    case SuiteKnob::kCount: break;
+  }
+  return false;
+}
+
+MitigationConfig WithKnobDisabled(const MitigationConfig& config, SuiteKnob knob) {
+  MitigationConfig c = config;
+  switch (knob) {
+    case SuiteKnob::kPti: c.pti = false; break;
+    case SuiteKnob::kMdsClearBuffers: c.mds_clear_buffers = false; break;
+    case SuiteKnob::kSmtOff: c.smt_off = false; break;
+    case SuiteKnob::kRetpoline: c.retpoline = RetpolineMode::kNone; break;
+    case SuiteKnob::kIbrs: c.ibrs = IbrsMode::kOff; break;
+    case SuiteKnob::kIbpb: c.ibpb_on_context_switch = false; break;
+    case SuiteKnob::kRsbStuff: c.rsb_stuff_on_context_switch = false; break;
+    case SuiteKnob::kLfenceAfterSwapgs: c.lfence_after_swapgs = false; break;
+    case SuiteKnob::kKernelIndexMasking: c.kernel_index_masking = false; break;
+    case SuiteKnob::kEagerFpu: c.eager_fpu = false; break;
+    case SuiteKnob::kL1tfPteInversion: c.l1tf_pte_inversion = false; break;
+    case SuiteKnob::kSsbdAlways:
+      // Downgrade to the pre-5.16 default rather than kOff: the suite's
+      // victim is an ordinary (non-seccomp) process, for which kSeccomp
+      // offers nothing — the minimal "one notch less" that matters.
+      c.ssbd = SsbdMode::kSeccomp;
+      break;
+    case SuiteKnob::kCount: break;
+  }
+  return c;
+}
+
+namespace {
+
+// Maps the config's Spectre-V2 family onto the primitive's options. IBRS is
+// only asserted where the silicon has the MSR bit (Zen 1 does not) so the
+// run is a real attempt rather than the primitive's attempted=false path.
+SpectreV2Options V2Options(const CpuModel& cpu, const MitigationConfig& config) {
+  SpectreV2Options o;
+  o.generic_retpoline = config.retpoline != RetpolineMode::kNone;
+  o.ibpb_before_victim = config.ibpb_on_context_switch;
+  o.ibrs = config.ibrs != IbrsMode::kOff && cpu.predictor.ibrs_supported;
+  return o;
+}
+
+std::vector<AttackSpec> BuildSuite() {
+  std::vector<AttackSpec> specs;
+
+  {
+    AttackSpec s;
+    s.name = "spectre-v1";
+    s.label = "Spectre V1 (bounds check bypass)";
+    s.knobs = {SuiteKnob::kKernelIndexMasking};
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.spectre_v1; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) {
+      // lfence_after_swapgs covers the swapgs variant, which this primitive
+      // does not model; only masking defends the array gadget.
+      return c.kernel_index_masking;
+    };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunSpectreV1Attack(cpu, c.kernel_index_masking, secret);
+    };
+    s.canonical_secret = 7;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "spectre-v2";
+    s.label = "Spectre V2 (cross-site branch target injection)";
+    s.knobs = {SuiteKnob::kRetpoline, SuiteKnob::kIbpb, SuiteKnob::kIbrs};
+    s.vulnerable = [](const CpuModel& cpu) {
+      // Zen 3's context-indexed BTB defeats cross-site training outright
+      // (paper §6.2) — the mitigation isn't required.
+      return cpu.vuln.spectre_v2 && !cpu.predictor.btb_bhb_indexed;
+    };
+    s.defended = [](const CpuModel& cpu, const MitigationConfig& c) {
+      if (c.retpoline != RetpolineMode::kNone || c.ibpb_on_context_switch) {
+        return true;
+      }
+      // IBRS stops this same-mode user->user attack only with the legacy
+      // "blocks all prediction" semantics; eIBRS mode-tagging does not
+      // (attack_test SpectreV2UnderIbrs).
+      return c.ibrs != IbrsMode::kOff && cpu.predictor.ibrs_supported &&
+             !cpu.predictor.eibrs;
+    };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunSpectreV2Attack(cpu, V2Options(cpu, c), secret);
+    };
+    s.canonical_secret = 5;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "spectre-rsb";
+    s.label = "SpectreRSB (return stack underflow)";
+    s.knobs = {SuiteKnob::kRsbStuff};
+    // Trained at the victim's own context, so even Zen 3 speculates.
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.spectre_v2; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) {
+      return c.rsb_stuff_on_context_switch;
+    };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunSpectreRsbAttack(cpu, c.rsb_stuff_on_context_switch, secret);
+    };
+    s.canonical_secret = 9;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "spectre-v2-smt";
+    s.label = "Spectre V2 across SMT siblings";
+    s.knobs = {SuiteKnob::kSmtOff};
+    s.vulnerable = [](const CpuModel& cpu) {
+      // Needs a sibling (Zen 1 has none) and a BTB poisonable from another
+      // context (Zen 3's is not, even intra-core — probed empirically).
+      return cpu.vuln.spectre_v2 && cpu.smt && !cpu.predictor.btb_bhb_indexed;
+    };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) { return c.smt_off; };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      if (c.smt_off) {
+        // No sibling exists to train from; the attack simply cannot run.
+        // (STIBP, the per-thread alternative, is not a MitigationConfig
+        // knob — ROADMAP item 2's SMT-scenario work.)
+        AttackResult r;
+        r.expected = secret;
+        return r;
+      }
+      return RunSpectreV2SmtAttack(cpu, /*stibp=*/false, secret);
+    };
+    s.canonical_secret = 12;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "meltdown";
+    s.label = "Meltdown (user read of kernel memory)";
+    s.knobs = {SuiteKnob::kPti};
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.meltdown; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) { return c.pti; };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunMeltdownAttack(cpu, c.pti, secret);
+    };
+    s.canonical_secret = 11;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "mds";
+    s.label = "MDS / RIDL (fill-buffer sampling at a transition)";
+    s.knobs = {SuiteKnob::kMdsClearBuffers};
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.mds; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) { return c.mds_clear_buffers; };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret,
+               uint64_t trial_salt) {
+      return RunMdsAttack(cpu, c.mds_clear_buffers, secret, trial_salt);
+    };
+    s.canonical_secret = 6;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "mds-smt";
+    s.label = "MDS across SMT siblings";
+    s.knobs = {SuiteKnob::kSmtOff, SuiteKnob::kMdsClearBuffers};
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.mds && cpu.smt; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) {
+      // Both knobs, or neither (paper §3.3): with SMT on, verw guards no
+      // transition; with SMT off but no verw, stale residue survives the
+      // context switch into the attacker's slice.
+      return c.smt_off && c.mds_clear_buffers;
+    };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret,
+               uint64_t trial_salt) {
+      MdsSmtOptions o;
+      o.smt_enabled = !c.smt_off;
+      o.verw_on_switch = c.mds_clear_buffers;
+      return RunMdsSmtAttack(cpu, o, secret, trial_salt);
+    };
+    s.canonical_secret = 10;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "ssb";
+    s.label = "Speculative Store Bypass";
+    s.knobs = {SuiteKnob::kSsbdAlways};
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.spec_store_bypass; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) {
+      // The suite's victim is an ordinary process: neither seccomp'd nor
+      // prctl-opted-in, so only ssbd=kAlways actually disables the bypass
+      // for it (src/os/kernel.cc SsbdActiveFor).
+      return c.ssbd == SsbdMode::kAlways;
+    };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunSsbAttack(cpu, c.ssbd == SsbdMode::kAlways, secret);
+    };
+    s.canonical_secret = 3;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "lazyfp";
+    s.label = "LazyFP (stale FPU register read)";
+    s.knobs = {SuiteKnob::kEagerFpu};
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.lazy_fp; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) { return c.eager_fpu; };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunLazyFpAttack(cpu, c.eager_fpu, secret);
+    };
+    s.canonical_secret = 4;
+    specs.push_back(std::move(s));
+  }
+
+  {
+    AttackSpec s;
+    s.name = "l1tf";
+    s.label = "L1 Terminal Fault";
+    s.knobs = {SuiteKnob::kL1tfPteInversion};
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.l1tf; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) { return c.l1tf_pte_inversion; };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunL1tfAttack(cpu, c.l1tf_pte_inversion, secret);
+    };
+    s.canonical_secret = 13;
+    specs.push_back(std::move(s));
+  }
+
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<AttackSpec>& AttackSuite() {
+  static const std::vector<AttackSpec> suite = BuildSuite();
+  return suite;
+}
+
+const AttackSpec* FindAttackSpec(const std::string& name) {
+  for (const AttackSpec& spec : AttackSuite()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<NamedConfig> MitigationConfigMatrix(const CpuModel& cpu) {
+  std::vector<NamedConfig> configs;
+
+  configs.push_back({"off", MitigationConfig::AllOff()});
+
+  {
+    MitigationConfig c = MitigationConfig::AllOff();
+    c.kernel_index_masking = true;
+    c.lfence_after_swapgs = true;
+    configs.push_back({"v1-only", c});
+  }
+
+  {
+    MitigationConfig c = MitigationConfig::Defaults(cpu);
+    c.retpoline = RetpolineMode::kNone;
+    c.ibrs = IbrsMode::kOff;
+    c.ibpb_on_context_switch = false;
+    c.rsb_stuff_on_context_switch = false;
+    configs.push_back({"no-v2", c});
+  }
+
+  configs.push_back({"defaults", MitigationConfig::Defaults(cpu)});
+
+  {
+    MitigationConfig c = MitigationConfig::Defaults(cpu);
+    c.ssbd = SsbdMode::kAlways;
+    configs.push_back({"defaults+ssbd", c});
+  }
+
+  {
+    MitigationConfig c = MitigationConfig::Defaults(cpu);
+    c.smt_off = true;
+    configs.push_back({"defaults+nosmt", c});
+  }
+
+  {
+    MitigationConfig c = MitigationConfig::Defaults(cpu);
+    c.smt_off = true;
+    c.ssbd = SsbdMode::kAlways;
+    configs.push_back({"defaults+nosmt+ssbd", c});
+  }
+
+  {
+    // Every knob forced on regardless of the hardware's needs — what an
+    // operator buys by ignoring Table 1's empty cells. The pareto report
+    // prices this against the cheapest sufficient set.
+    MitigationConfig c = MitigationConfig::Defaults(cpu);
+    c.pti = true;
+    c.mds_clear_buffers = true;
+    c.smt_off = true;
+    c.retpoline = RetpolineMode::kGeneric;
+    c.ibrs = cpu.predictor.eibrs
+                 ? IbrsMode::kEibrs
+                 : (cpu.predictor.ibrs_supported ? IbrsMode::kLegacyIbrs : IbrsMode::kOff);
+    c.ibpb_on_context_switch = true;
+    c.rsb_stuff_on_context_switch = true;
+    c.lfence_after_swapgs = true;
+    c.kernel_index_masking = true;
+    c.eager_fpu = true;
+    c.l1tf_pte_inversion = true;
+    c.l1d_flush_on_vmentry = true;
+    c.ssbd = SsbdMode::kAlways;
+    configs.push_back({"paranoid", c});
+  }
+
+  return configs;
+}
+
+const SuiteCell* SuiteResult::Find(const std::string& cpu, const std::string& config,
+                                   const std::string& attack) const {
+  for (const SuiteCell& cell : cells) {
+    if (cell.cpu == cpu && cell.config == config && cell.attack == attack) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t TrialSecret(const AttackSpec& spec, uint64_t cell_seed, int trial) {
+  if (trial == 0) {
+    return spec.canonical_secret;
+  }
+  const std::string key = "secret:" + std::to_string(trial);
+  return 1 + Fnv1a64(key, cell_seed) % 15;
+}
+
+uint64_t TrialSalt(uint64_t cell_seed, int trial) {
+  if (trial == 0) {
+    return 0;
+  }
+  const std::string key = "salt:" + std::to_string(trial);
+  const uint64_t salt = Fnv1a64(key, cell_seed);
+  return salt == 0 ? 1 : salt;  // 0 means "canonical"; keep trials varied
+}
+
+SuiteResult RunSuite(const SuiteOptions& options) {
+  SPECBENCH_CHECK(options.trials > 0);
+  const std::vector<AttackSpec>& suite = AttackSuite();
+
+  SuiteResult result;
+  result.options = options;
+
+  // Pre-allocate every cell in registration order; workers fill only their
+  // own slot, so the result is independent of scheduling (the PR-2 recipe).
+  struct Job {
+    const CpuModel* cpu;
+    const AttackSpec* spec;
+    MitigationConfig config;
+    size_t slot;
+  };
+  std::vector<Job> jobs;
+  for (Uarch u : options.cpus) {
+    const CpuModel& cpu = GetCpuModel(u);
+    for (const NamedConfig& named : MitigationConfigMatrix(cpu)) {
+      for (const AttackSpec& spec : suite) {
+        SuiteCell cell;
+        cell.cpu = UarchName(u);
+        cell.config = named.name;
+        cell.attack = spec.name;
+        cell.defended = spec.defended(cpu, named.config);
+        cell.attempted = spec.vulnerable(cpu);
+        jobs.push_back(Job{&cpu, &spec, named.config, result.cells.size()});
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  ThreadPool pool(options.jobs == 0 ? 0 : static_cast<size_t>(options.jobs));
+  for (const Job& job : jobs) {
+    SuiteCell* cell = &result.cells[job.slot];
+    if (!cell->attempted) {
+      continue;  // Table 1 empty cell: nothing to run
+    }
+    const int trials = options.trials;
+    const uint64_t base_seed = options.base_seed;
+    pool.Submit([cell, job, trials, base_seed] {
+      const uint64_t cell_seed =
+          CellSeed(base_seed, cell->cpu, cell->config, "attack:" + cell->attack);
+      cell->trials = trials;
+      for (int t = 0; t < trials; t++) {
+        const uint64_t secret = TrialSecret(*job.spec, cell_seed, t);
+        const uint64_t salt = TrialSalt(cell_seed, t);
+        const AttackResult r = job.spec->run(*job.cpu, job.config, secret, salt);
+        if (r.attempted && r.leaked) {
+          cell->leaks++;
+        }
+      }
+      cell->leak_rate = static_cast<double>(cell->leaks) / static_cast<double>(trials);
+    });
+  }
+  pool.Wait();
+  return result;
+}
+
+}  // namespace specbench

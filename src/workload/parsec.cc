@@ -124,8 +124,16 @@ double Parsec::RunKernel(const std::string& name, const CpuModel& cpu,
   }
   SeedData(kernel.machine());
   const auto result = kernel.Run("user_main");
-  return ApplyNoise(static_cast<double>(result.cycles),
-                    seed ^ std::hash<std::string>{}(name), 0.004);
+  double cycles = static_cast<double>(result.cycles);
+  // nosmt: the PARSEC suite is the multithreaded half of the study — with
+  // the sibling thread disabled, each core retires one stream instead of
+  // two overlapping ones. Charge the SMT-era throughput yield (~25%, the
+  // "disable HT" rows of the MDS checklists) on parts that have SMT to
+  // lose; single-stream LEBench/Octane latency is unaffected.
+  if (config.smt_off && cpu.smt) {
+    cycles *= 1.25;
+  }
+  return ApplyNoise(cycles, seed ^ std::hash<std::string>{}(name), 0.004);
 }
 
 std::map<std::string, double> Parsec::RunSuite(const CpuModel& cpu,

@@ -1,0 +1,122 @@
+// Byte-exact golden-file test for `spectrebench pareto --json`.
+//
+// The renderer promises byte-reproducible output: fixed key order,
+// fixed-precision numbers (the geomean is computed with IEEE-exact
+// arithmetic only — no libm), and no timing/host fields, independent of
+// the --jobs count. The fixture pins the exact bytes of the full default
+// report; regenerate after an intentional model or format change with
+//   SPECBENCH_REGEN_GOLDEN=1 ./pareto_golden_test
+// and review the diff — a changed byte means a changed verdict or a
+// changed overhead, never noise.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/pareto.h"
+
+namespace specbench {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return (std::filesystem::path(SPECBENCH_TEST_SOURCE_DIR) / "golden" / name).string();
+}
+
+std::string CheckAgainstGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("SPECBENCH_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    return actual;
+  }
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path
+                         << " (regenerate with SPECBENCH_REGEN_GOLDEN=1)";
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string RunCliPareto(const std::string& extra_flags) {
+  const std::string command =
+      std::string(SPECBENCH_CLI_PATH) + " pareto --json " + extra_flags + " 2>/dev/null";
+  std::string output;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) {
+    return output;
+  }
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  return output;
+}
+
+// The default report: all CPUs, 5 trials, seed 1 — exactly what the CLI
+// runs with no flags (RunPareto must stay in sync with this).
+const ParetoReport& DefaultReport() {
+  static const ParetoReport report = BuildParetoReport(ParetoOptions{});
+  return report;
+}
+
+TEST(ParetoGolden, JsonMatchesGoldenFileByteForByte) {
+  const std::string actual = RenderParetoJson(DefaultReport());
+  EXPECT_EQ(actual, CheckAgainstGolden(actual, "pareto.json"));
+}
+
+TEST(ParetoGolden, CliOutputMatchesTheLibraryBytes) {
+  // The subcommand is a thin shell over BuildParetoReport: same bytes, so
+  // the committed golden pins the CLI too.
+  EXPECT_EQ(RunCliPareto(""), RenderParetoJson(DefaultReport()));
+}
+
+TEST(ParetoGolden, CliOutputIsIdenticalForAnyJobCount) {
+  EXPECT_EQ(RunCliPareto("--jobs=1"), RunCliPareto("--jobs=8"));
+}
+
+TEST(ParetoGolden, NoTimingOrHostFields) {
+  const std::string json = RenderParetoJson(DefaultReport());
+  for (const char* forbidden : {"wall", "time", "stamp", "date", "host", "duration",
+                                "elapsed", "seconds"}) {
+    EXPECT_EQ(json.find(forbidden), std::string::npos) << "found \"" << forbidden << "\"";
+  }
+  EXPECT_NE(json.find("\"schema\": \"spectrebench-pareto-v1\""), std::string::npos);
+}
+
+TEST(ParetoGolden, ReportsAnOverProtectionGapSomewhere) {
+  // The acceptance bar for the frontier: at least one CPU where the
+  // cheapest fully-protecting config is NOT the most-protected one — the
+  // over-protection gap the paper's §7 argues against paying.
+  int cpus_with_gap = 0;
+  for (const CpuPareto& cpu : DefaultReport().cpus) {
+    if (!cpu.cheapest_sufficient.empty() && cpu.cheapest_sufficient != cpu.most_protected) {
+      EXPECT_GT(cpu.over_protection_gap_pct, 0.0) << cpu.cpu;
+      cpus_with_gap++;
+    }
+  }
+  EXPECT_GT(cpus_with_gap, 0);
+}
+
+TEST(ParetoGolden, TextAndCsvAreDeterministic) {
+  EXPECT_EQ(RenderParetoText(DefaultReport()), RenderParetoText(DefaultReport()));
+  EXPECT_EQ(RenderParetoCsv(DefaultReport()), RenderParetoCsv(DefaultReport()));
+  // CSV carries one row per (cpu, config) plus the header.
+  std::istringstream csv(RenderParetoCsv(DefaultReport()));
+  int lines = 0;
+  std::string line;
+  while (std::getline(csv, line)) {
+    lines++;
+  }
+  EXPECT_EQ(lines, 1 + static_cast<int>(DefaultReport().cpus.size()) * 8);
+}
+
+}  // namespace
+}  // namespace specbench

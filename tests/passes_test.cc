@@ -13,6 +13,7 @@
 #include "src/analysis/detectors.h"
 #include "src/analysis/passes.h"
 #include "src/analysis/rewriter.h"
+#include "src/attack/suite.h"
 #include "src/cpu/cpu_model.h"
 #include "src/difftest/difftest.h"
 #include "src/difftest/equivalence.h"
@@ -125,6 +126,64 @@ TEST(PassFixpoint, HardenedOutputIsAFixedPointOfThePass) {
       EXPECT_EQ(second.inserted, 0) << pass->name() << "/" << entry.name;
       EXPECT_TRUE(second.sites.empty()) << pass->name() << "/" << entry.name;
     }
+  }
+}
+
+// --- Cross-validation against the attack suite ----------------------------
+//
+// The same leak has two independent mitigations in this codebase: the OS
+// knob the attack-suite registry reasons about (src/attack/suite.h) and the
+// software pass `spectrebench harden` applies (src/analysis/passes.h). Both
+// routes must flip the verdict: enabling the knob turns the suite cell from
+// leak to no-leak, and hardening the leaking gadget makes its corpus replay
+// come back clean — with neither, the leak is observable.
+TEST(PassVsAttackSuite, HardeningFlipsTheReplayVerdictLikeTheKnobFlipsTheCell) {
+  const struct {
+    const char* pass;    // software route: rewrite the gadget
+    const char* entry;   // leaking corpus program with a replay scenario
+    const char* attack;  // suite route: the registered attack spec
+    SuiteKnob knob;      // the OS knob the registry credits for the defense
+  } kPairs[] = {
+      {"v1-index-mask", "v1-classic", "spectre-v1", SuiteKnob::kKernelIndexMasking},
+      {"targeted-lfence", "v1-classic", "spectre-v1", SuiteKnob::kKernelIndexMasking},
+      {"ssb-fence", "ssb-gadget", "ssb", SuiteKnob::kSsbdAlways},
+      {"rsb-fill", "ret-underflow", "spectre-rsb", SuiteKnob::kRsbStuff},
+  };
+  const CpuModel& cpu = Baseline();
+  const std::vector<CorpusEntry> corpus = BaselineCorpus();
+  for (const auto& pair : kPairs) {
+    // Software route: the unhardened gadget's replay observes the leak; the
+    // matching pass rewrites it and the identical scenario comes back clean.
+    const CorpusEntry& entry = EntryNamed(corpus, pair.entry);
+    ASSERT_TRUE(entry.replay != nullptr) << pair.entry;
+    EXPECT_TRUE(entry.replay(cpu, entry.program))
+        << pair.entry << " replay must leak before hardening";
+    const MitigationPass* pass = FindMitigationPassByName(pair.pass);
+    ASSERT_NE(pass, nullptr) << pair.pass;
+    const PassRunReport run = RunPassToFixpoint(*pass, entry.program, cpu);
+    EXPECT_TRUE(run.fixpoint_ok()) << pair.pass << "/" << pair.entry;
+    EXPECT_FALSE(entry.replay(cpu, run.hardened))
+        << pair.pass << " left " << pair.entry << "'s leak observable";
+
+    // Suite route: the registered attack leaks with the knob off and is
+    // blocked with it on, and the registry's claim agrees both ways.
+    const AttackSpec* spec = FindAttackSpec(pair.attack);
+    ASSERT_NE(spec, nullptr) << pair.attack;
+    ASSERT_TRUE(spec->vulnerable(cpu)) << pair.attack;
+    MitigationConfig off = WithKnobDisabled(MitigationConfig::AllOff(), pair.knob);
+    MitigationConfig on = off;
+    switch (pair.knob) {
+      case SuiteKnob::kKernelIndexMasking: on.kernel_index_masking = true; break;
+      case SuiteKnob::kSsbdAlways: on.ssbd = SsbdMode::kAlways; break;
+      case SuiteKnob::kRsbStuff: on.rsb_stuff_on_context_switch = true; break;
+      default: FAIL() << "unmapped knob"; break;
+    }
+    const AttackResult open = spec->run(cpu, off, spec->canonical_secret, 0);
+    const AttackResult closed = spec->run(cpu, on, spec->canonical_secret, 0);
+    EXPECT_TRUE(open.attempted && open.leaked) << pair.attack;
+    EXPECT_FALSE(closed.attempted && closed.leaked) << pair.attack;
+    EXPECT_FALSE(spec->defended(cpu, off)) << pair.attack;
+    EXPECT_TRUE(spec->defended(cpu, on)) << pair.attack;
   }
 }
 

@@ -31,6 +31,7 @@
 #include "src/attack/attacks.h"
 #include "src/core/counters.h"
 #include "src/core/experiments.h"
+#include "src/core/pareto.h"
 #include "src/core/sweep_grids.h"
 #include "src/runner/checkpoint.h"
 #include "src/runner/service.h"
@@ -50,6 +51,7 @@ struct CliOptions {
   bool csv = false;
   bool quiet = false;           // suppress sweep progress lines on stderr
   int jobs = 0;                 // 0 = hardware_concurrency
+  int trials = 5;               // pareto: attack-suite repeats per cell
   uint64_t seed = 1;
   std::vector<Uarch> cpus = AllUarches();
   std::vector<std::string> grids = {"fig2", "fig3", "sec45"};
@@ -158,6 +160,7 @@ const std::vector<CommandSpec>& CommandSpecs() {
         "--fast", "--shard", "--checkpoint", "--ping", "--shutdown"}},
       {"counters", {"--cpus", "--workloads", "--boot-params", "--strict-boot-params"}},
       {"attacks", {"--cpus"}},
+      {"pareto", {"--json", "--csv", "--jobs", "--trials", "--seed", "--cpus"}},
       {"analyze", {"--json", "--cpus"}},
       {"harden", {"--seeds", "--passes", "--json", "--cpus"}},
       {"difftest",
@@ -762,6 +765,31 @@ int RunCounters(const CliOptions& options) {
   return 0;
 }
 
+// The security x overhead frontier: attack-suite verdict matrix joined
+// with the overhead basket, per-CPU Pareto ranking on stdout. All three
+// output formats are byte-stable and job-count independent (the JSON is
+// golden-tested).
+int RunPareto(const CliOptions& options) {
+  if (options.json && options.csv) {
+    std::fprintf(stderr, "pareto: pick one of --json / --csv\n");
+    return 2;
+  }
+  ParetoOptions pareto_options;
+  pareto_options.cpus = options.cpus;
+  pareto_options.trials = options.trials;
+  pareto_options.jobs = options.jobs;
+  pareto_options.base_seed = options.seed;
+  const ParetoReport report = BuildParetoReport(pareto_options);
+  if (options.json) {
+    std::printf("%s", RenderParetoJson(report).c_str());
+  } else if (options.csv) {
+    std::printf("%s", RenderParetoCsv(report).c_str());
+  } else {
+    std::printf("%s", RenderParetoText(report).c_str());
+  }
+  return 0;
+}
+
 // Static gadget analysis + simulator cross-validation over the corpus.
 int RunAnalyze(const CliOptions& options) {
   std::vector<CorpusReport> reports;
@@ -1042,6 +1070,14 @@ void PrintUsage() {
       "               byte-stable JSON on stdout; tokens ApplyBootParam rejects\n"
       "               warn on stderr (exit non-zero under --strict-boot-params)\n"
       "  attacks      run the full attack ground-truth suite\n"
+      "  pareto       security x overhead frontier: every attack spec against\n"
+      "               every (CPU x mitigation config) cell plus the overhead\n"
+      "               basket; per CPU ranks configs, marks the non-dominated\n"
+      "               frontier, names the cheapest fully-protecting config vs\n"
+      "               the most protected one, and attributes which knob blocks\n"
+      "               each attack: [--json|--csv] [--jobs=N] [--trials=T]\n"
+      "               [--seed=S] [--cpus=...]; output is byte-identical for\n"
+      "               any --jobs (JSON is golden-tested)\n"
       "  analyze      static gadget analysis of the corpus, cross-validated\n"
       "               against the simulator [--json]\n"
       "  harden       mitigation-pass framework: rewrite programs with the\n"
@@ -1113,6 +1149,12 @@ int main(int argc, char** argv) {
       options.strict_boot_params = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      options.trials = std::atoi(arg.c_str() + 9);
+      if (options.trials < 1) {
+        std::fprintf(stderr, "--trials=%s: want a positive repeat count\n", arg.c_str() + 9);
+        return 2;
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--seeds=", 0) == 0) {
@@ -1269,6 +1311,9 @@ int main(int argc, char** argv) {
   }
   if (command == "attacks") {
     return RunAttackSuite(options);
+  }
+  if (command == "pareto") {
+    return RunPareto(options);
   }
   if (command == "harden") {
     return RunHarden(options);
