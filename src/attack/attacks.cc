@@ -17,6 +17,7 @@ constexpr uint64_t kArrayBase = 0x42000000;   // V1 victim array
 constexpr uint64_t kArrayLen = 16;
 constexpr uint64_t kSecretSlot = 0x43000000;  // where the secret value lives
 constexpr uint64_t kPtrSlot = 0x44000000;     // V2 function pointer
+constexpr uint64_t kPtrSlot2 = 0x44001000;    // the SMT victim's own pointer
 constexpr uint64_t kNoiseBase = 0x45000000;   // benign MDS victim fills
 constexpr uint64_t kStackTop = 0x48000000;
 constexpr uint64_t kMdsSampleBase = 0x50000000;  // unmapped sampling page
@@ -382,7 +383,6 @@ AttackResult RunMdsAttack(const CpuModel& cpu, bool verw_clear, uint64_t secret,
 AttackResult RunSpectreV2SmtAttack(const CpuModel& cpu, bool stibp, uint64_t secret) {
   SPECBENCH_CHECK(secret < kCandidates);
   Machine m(cpu);
-  m.SetStibp(stibp);
   ProgramBuilder b;
 
   Label victim_call_site = b.NewLabel();
@@ -397,44 +397,70 @@ AttackResult RunSpectreV2SmtAttack(const CpuModel& cpu, bool stibp, uint64_t sec
   b.BindSymbol("benign");
   b.Ret();
 
-  // Shared code both hyperthreads execute: the victim's indirect call.
+  // Shared code both hyperthreads execute: an indirect call through a
+  // per-thread pointer slot whose address arrives in r1. One call-site PC,
+  // so one BTB entry — partitioned between the siblings only when STIBP
+  // tags it with the hardware thread id.
   b.BindSymbol("do_call");
   b.Bind(victim_call_site);
-  b.MovImm(2, static_cast<int64_t>(kPtrSlot));
-  b.Clflush(MemRef{.base = 2});
-  b.Load(3, MemRef{.base = 2});
+  b.Clflush(MemRef{.base = 1});  // the target resolves slowly: wide window
+  b.Load(3, MemRef{.base = 1});
   b.IndirectCall(3);
   b.Ret();
 
-  // Attacker thread: call through the pointer (aimed at the gadget).
+  // Attacker thread: train the shared call site at the gadget, then flush
+  // the probe array (arming flush+reload — the training calls ran the
+  // gadget architecturally) and leave the core.
   b.BindSymbol("attacker");
+  Label train = b.NewLabel();
+  b.MovImm(1, static_cast<int64_t>(kPtrSlot));
+  b.MovImm(4, 6);
+  b.Bind(train);
   b.Call(victim_call_site);
+  b.AluImm(AluOp::kSub, 4, 4, 1);
+  b.BranchNz(4, train);
+  for (uint64_t i = 0; i < kCandidates; i++) {
+    b.MovImm(5, static_cast<int64_t>(kProbeBase + (i << 12)));
+    b.Clflush(MemRef{.base = 5});
+  }
   b.Halt();
 
-  // Victim thread: the same call with the pointer aimed at benign code.
+  // Victim thread: spin past the attacker's training window, then one call
+  // through its own pointer, which points at benign code.
   b.BindSymbol("victim");
+  Label spin = b.NewLabel();
+  b.MovImm(1, static_cast<int64_t>(kPtrSlot2));
+  b.MovImm(4, 96);
+  b.Bind(spin);
+  b.AluImm(AluOp::kSub, 4, 4, 1);
+  b.BranchNz(4, spin);
   b.Call(victim_call_site);
   b.Halt();
 
   Program p = b.Build();
   m.LoadProgram(&p);
   m.PokeData(kSecretSlot, secret);
-
-  // Attacker hyperthread (id 1) trains; note its architectural gadget runs
-  // also encode the secret, so the channel is flushed before the victim.
-  m.SetSmtThreadId(1);
-  m.SetReg(kRegSp, kStackTop);
   m.PokeData(kPtrSlot, p.SymbolVaddr("gadget"));
-  for (int i = 0; i < 4; i++) {
-    m.Run(p.SymbolVaddr("attacker"));
-  }
-
-  // Victim hyperthread (id 2) runs with the pointer flipped to benign.
-  m.SetSmtThreadId(2);
-  m.SetReg(kRegSp, kStackTop - 4096);
-  m.PokeData(kPtrSlot, p.SymbolVaddr("benign"));
+  m.PokeData(kPtrSlot2, p.SymbolVaddr("benign"));
   CacheTimingChannel(kProbeBase, kCandidates).Flush(m);
-  m.Run(p.SymbolVaddr("victim"));
+
+  // Genuinely co-resident: the attacker trains from the sibling hardware
+  // thread while the victim spins, in one lockstep co-run on the shared
+  // predictors. With STIBP each context's BTB entries carry its own thread
+  // tag, so the victim's prediction never sees the attacker's training.
+  Machine::CoResidentSpec victim;
+  victim.program = &p;
+  victim.entry_vaddr = p.SymbolVaddr("victim");
+  victim.smt_thread_id = 0;
+  victim.stibp = stibp;
+  victim.initial_regs = {{kRegSp, kStackTop}};
+  Machine::CoResidentSpec attacker;
+  attacker.program = &p;
+  attacker.entry_vaddr = p.SymbolVaddr("attacker");
+  attacker.smt_thread_id = 1;
+  attacker.stibp = stibp;
+  attacker.initial_regs = {{kRegSp, kStackTop - 4096}};
+  m.RunCoResident(victim, attacker);
   return Finish(m, secret);
 }
 
@@ -512,15 +538,21 @@ AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
   };
 
   if (options.smt_enabled) {
-    // SMT siblings: interleave victim chunks with attacker samples on the
-    // same core-shared fill buffers. No privilege transition in between.
-    Machine::RunResult victim_state = m.RunPartial(p.SymbolVaddr("victim"), 12);
-    while (!victim_state.halted) {
-      const Machine::ThreadContext victim_ctx = m.SaveContext();
-      run_attacker_once();
-      m.RestoreContext(victim_ctx);
-      victim_state = m.RunPartial(victim_ctx.resume_rip, 12);
-    }
+    // SMT siblings genuinely co-resident: the victim streams its secret
+    // through the core-shared fill buffers while the attacker's sampling
+    // gadget runs in the arbiter's alternate fetch granules. No privilege
+    // transition ever separates them, so verw has no place to run.
+    m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+    m.cond_predictor().Train(p.VaddrOf(branch_index), true);
+    Machine::CoResidentSpec victim;
+    victim.program = &p;
+    victim.entry_vaddr = p.SymbolVaddr("victim");
+    victim.smt_thread_id = 0;
+    Machine::CoResidentSpec attacker;
+    attacker.program = &p;
+    attacker.entry_vaddr = p.SymbolVaddr("attacker");
+    attacker.smt_thread_id = 1;
+    m.RunCoResident(victim, attacker);
   } else {
     // SMT off: the attacker only gets the core after the victim's time
     // slice ends — a context switch, which runs verw when configured.
@@ -534,6 +566,93 @@ AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
     }
   }
   return Finish(m, secret);
+}
+
+AttackResult RunSmotherSpectreAttack(const CpuModel& cpu, bool co_resident,
+                                     uint64_t secret) {
+  SPECBENCH_CHECK(secret < kCandidates);
+  // One measurement per secret *bit*. The victim extracts the bit and, when
+  // set, issues a chained divider sequence (latency-bound: few issue slots,
+  // the shared divider busy for a long stretch); when clear, an equal-length
+  // ALU stream (issue-bound: every slot contended). The attacker runs a
+  // fixed ALU stream on the sibling thread and reads the only clock it has —
+  // its own completion time, which the victim's port pressure shifts. The
+  // channel needs genuine co-residence: with SMT off, or core scheduling
+  // refusing to pair the distrusting processes, the attacker times its
+  // stream alone and every bit measures the same.
+  constexpr int kBodyLen = 64;
+  constexpr int kAttackerLen = 96;
+
+  auto measure = [&](int bit, uint64_t planted) -> uint64_t {
+    Machine m(cpu);
+    ProgramBuilder b;
+    Label div_path = b.NewLabel();
+    Label vdone = b.NewLabel();
+    b.BindSymbol("victim");
+    b.MovImm(1, static_cast<int64_t>(kSecretSlot));
+    b.Load(2, MemRef{.base = 1});
+    b.AluImm(AluOp::kShr, 2, 2, bit);
+    b.AluImm(AluOp::kAnd, 2, 2, 1);
+    b.BranchNz(2, div_path);
+    for (int i = 0; i < kBodyLen; i++) {
+      b.AluImm(AluOp::kAdd, 3, 3, 1);
+    }
+    b.Jmp(vdone);
+    b.Bind(div_path);
+    b.MovImm(4, 1);
+    for (int i = 0; i < kBodyLen; i++) {
+      b.DivImm(4, 4, 3);  // each division waits on the previous quotient
+    }
+    b.Bind(vdone);
+    b.Halt();
+
+    b.BindSymbol("attacker");
+    for (int i = 0; i < kAttackerLen; i++) {
+      b.AluImm(AluOp::kAdd, 5, 5, 1);
+    }
+    b.Halt();
+
+    Program p = b.Build();
+    m.LoadProgram(&p);
+    m.PokeData(kSecretSlot, planted);
+
+    if (!co_resident) {
+      // The victim ran in its own time slice; the attacker's self-timed
+      // stream has the whole core to itself.
+      m.Run(p.SymbolVaddr("victim"));
+      const uint64_t before = m.cycles();
+      m.Run(p.SymbolVaddr("attacker"));
+      return m.cycles() - before;
+    }
+    Machine::CoResidentSpec victim;
+    victim.program = &p;
+    victim.entry_vaddr = p.SymbolVaddr("victim");
+    victim.smt_thread_id = 0;
+    Machine::CoResidentSpec attacker;
+    attacker.program = &p;
+    attacker.entry_vaddr = p.SymbolVaddr("attacker");
+    attacker.smt_thread_id = 1;
+    const Machine::CoResidentResult r = m.RunCoResident(victim, attacker);
+    return r.thread[1].finish_cycles;
+  };
+
+  AttackResult result;
+  result.expected = secret;
+  int recovered = 0;
+  for (int bit = 0; bit < 4; bit++) {
+    const uint64_t clear = measure(bit, 0);
+    const uint64_t set = measure(bit, 0xF);
+    const uint64_t observed = measure(bit, secret);
+    // Deterministic simulation: the observation matches one calibration
+    // exactly. No contrast (clear == set) means no co-resident signal, and
+    // the bit reads as 0.
+    if (set != clear && observed == set) {
+      recovered |= 1 << bit;
+    }
+  }
+  result.recovered = recovered;
+  result.leaked = static_cast<uint64_t>(recovered) == secret;
+  return result;
 }
 
 AttackResult RunSsbAttack(const CpuModel& cpu, bool ssbd, uint64_t secret) {

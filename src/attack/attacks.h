@@ -84,6 +84,16 @@ AttackResult RunMdsSmtAttack(const CpuModel& cpu, const MdsSmtOptions& options,
 // default changes also covered [Larabel 2021].
 AttackResult RunSpectreV2SmtAttack(const CpuModel& cpu, bool stibp, uint64_t secret = 12);
 
+// SMoTherSpectre (port contention across SMT siblings): the attacker times
+// its own instruction stream while the victim executes secret-dependent
+// code — divider chains vs ALU streams — on the sibling hardware thread of
+// the same core; the shared-port pressure shifts the attacker's completion
+// time, one bit per measurement. No predictor state is involved, so STIBP
+// does not help: only taking the sibling away does (`co_resident=false`:
+// nosmt, or core scheduling refusing to pair the two processes).
+AttackResult RunSmotherSpectreAttack(const CpuModel& cpu, bool co_resident,
+                                     uint64_t secret = 14);
+
 // Speculative Store Bypass: transient load reads memory under an unresolved
 // store. `ssbd` disables the bypass.
 AttackResult RunSsbAttack(const CpuModel& cpu, bool ssbd, uint64_t secret = 3);

@@ -22,6 +22,8 @@ const char* SuiteKnobName(SuiteKnob knob) {
     case SuiteKnob::kEagerFpu: return "eager-fpu";
     case SuiteKnob::kL1tfPteInversion: return "pte-inversion";
     case SuiteKnob::kSsbdAlways: return "ssbd";
+    case SuiteKnob::kStibp: return "stibp";
+    case SuiteKnob::kCoreSched: return "coresched";
     case SuiteKnob::kCount: break;
   }
   return "?";
@@ -41,6 +43,8 @@ bool KnobActive(const MitigationConfig& config, SuiteKnob knob) {
     case SuiteKnob::kEagerFpu: return config.eager_fpu;
     case SuiteKnob::kL1tfPteInversion: return config.l1tf_pte_inversion;
     case SuiteKnob::kSsbdAlways: return config.ssbd == SsbdMode::kAlways;
+    case SuiteKnob::kStibp: return config.stibp;
+    case SuiteKnob::kCoreSched: return config.core_scheduling;
     case SuiteKnob::kCount: break;
   }
   return false;
@@ -66,10 +70,23 @@ MitigationConfig WithKnobDisabled(const MitigationConfig& config, SuiteKnob knob
       // offers nothing — the minimal "one notch less" that matters.
       c.ssbd = SsbdMode::kSeccomp;
       break;
+    case SuiteKnob::kStibp: c.stibp = false; break;
+    case SuiteKnob::kCoreSched: c.core_scheduling = false; break;
     case SuiteKnob::kCount: break;
   }
   return c;
 }
+
+namespace {
+
+// Whether the attacker can ever run co-resident with its victim: nosmt
+// removes the sibling thread, core scheduling refuses to pair the two
+// mutually distrusting processes on one core.
+bool CoResidencePossible(const MitigationConfig& c) {
+  return !c.smt_off && !c.core_scheduling;
+}
+
+}  // namespace
 
 namespace {
 
@@ -153,23 +170,27 @@ std::vector<AttackSpec> BuildSuite() {
     AttackSpec s;
     s.name = "spectre-v2-smt";
     s.label = "Spectre V2 across SMT siblings";
-    s.knobs = {SuiteKnob::kSmtOff};
+    s.knobs = {SuiteKnob::kSmtOff, SuiteKnob::kStibp, SuiteKnob::kCoreSched};
     s.vulnerable = [](const CpuModel& cpu) {
       // Needs a sibling (Zen 1 has none) and a BTB poisonable from another
       // context (Zen 3's is not, even intra-core — probed empirically).
       return cpu.vuln.spectre_v2 && cpu.smt && !cpu.predictor.btb_bhb_indexed;
     };
-    s.defended = [](const CpuModel&, const MitigationConfig& c) { return c.smt_off; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) {
+      // Three defenses, in ascending cost: STIBP partitions the predictor
+      // between the still-co-resident siblings; core scheduling keeps the
+      // attacker off the sibling; nosmt removes the sibling outright.
+      return c.smt_off || c.core_scheduling || c.stibp;
+    };
     s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
-      if (c.smt_off) {
-        // No sibling exists to train from; the attack simply cannot run.
-        // (STIBP, the per-thread alternative, is not a MitigationConfig
-        // knob — ROADMAP item 2's SMT-scenario work.)
+      if (!CoResidencePossible(c)) {
+        // No sibling exists (nosmt) or the scheduler never pairs the two
+        // (core scheduling): the attack simply cannot run.
         AttackResult r;
         r.expected = secret;
         return r;
       }
-      return RunSpectreV2SmtAttack(cpu, /*stibp=*/false, secret);
+      return RunSpectreV2SmtAttack(cpu, c.stibp, secret);
     };
     s.canonical_secret = 12;
     specs.push_back(std::move(s));
@@ -208,18 +229,20 @@ std::vector<AttackSpec> BuildSuite() {
     AttackSpec s;
     s.name = "mds-smt";
     s.label = "MDS across SMT siblings";
-    s.knobs = {SuiteKnob::kSmtOff, SuiteKnob::kMdsClearBuffers};
+    s.knobs = {SuiteKnob::kSmtOff, SuiteKnob::kCoreSched, SuiteKnob::kMdsClearBuffers};
     s.vulnerable = [](const CpuModel& cpu) { return cpu.vuln.mds && cpu.smt; };
     s.defended = [](const CpuModel&, const MitigationConfig& c) {
-      // Both knobs, or neither (paper §3.3): with SMT on, verw guards no
-      // transition; with SMT off but no verw, stale residue survives the
-      // context switch into the attacker's slice.
-      return c.smt_off && c.mds_clear_buffers;
+      // Co-residence must be impossible (nosmt or core scheduling) AND verw
+      // must clear the residue at the switch (paper §3.3): with a live
+      // sibling, verw guards no transition; without verw, stale fill-buffer
+      // data survives the context switch into the attacker's slice. STIBP
+      // partitions predictors, not fill buffers — it does nothing here.
+      return !CoResidencePossible(c) && c.mds_clear_buffers;
     };
     s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret,
                uint64_t trial_salt) {
       MdsSmtOptions o;
-      o.smt_enabled = !c.smt_off;
+      o.smt_enabled = CoResidencePossible(c);
       o.verw_on_switch = c.mds_clear_buffers;
       return RunMdsSmtAttack(cpu, o, secret, trial_salt);
     };
@@ -274,6 +297,28 @@ std::vector<AttackSpec> BuildSuite() {
     specs.push_back(std::move(s));
   }
 
+  {
+    AttackSpec s;
+    s.name = "smother-spectre";
+    s.label = "SMoTherSpectre (port contention across SMT siblings)";
+    s.knobs = {SuiteKnob::kSmtOff, SuiteKnob::kCoreSched};
+    // Any part with a sibling thread: the channel is execution-port
+    // pressure, not a transient-execution flaw, so silicon fixes for
+    // MDS/V2 (Ice Lake, Zen 3) do not help.
+    s.vulnerable = [](const CpuModel& cpu) { return cpu.smt; };
+    s.defended = [](const CpuModel&, const MitigationConfig& c) {
+      // Only taking the sibling away works; STIBP partitions predictor
+      // state, not ports, and is deliberately absent here — the gap the
+      // pareto frontier prices.
+      return !CoResidencePossible(c);
+    };
+    s.run = [](const CpuModel& cpu, const MitigationConfig& c, uint64_t secret, uint64_t) {
+      return RunSmotherSpectreAttack(cpu, CoResidencePossible(c), secret);
+    };
+    s.canonical_secret = 14;
+    specs.push_back(std::move(s));
+  }
+
   return specs;
 }
 
@@ -323,6 +368,24 @@ std::vector<NamedConfig> MitigationConfigMatrix(const CpuModel& cpu) {
   }
 
   {
+    // STIBP rides the context-switch path (one SPEC_CTRL write) — the
+    // cheap cross-thread V2 defense the pareto report prices against
+    // nosmt's throughput loss.
+    MitigationConfig c = MitigationConfig::Defaults(cpu);
+    c.stibp = true;
+    configs.push_back({"defaults+stibp", c});
+  }
+
+  {
+    // Core scheduling: no MSR traffic, just cookie arithmetic in
+    // pick_next — covers every cross-thread channel (including port
+    // contention) without giving up the sibling for same-cookie work.
+    MitigationConfig c = MitigationConfig::Defaults(cpu);
+    c.core_scheduling = true;
+    configs.push_back({"defaults+coresched", c});
+  }
+
+  {
     MitigationConfig c = MitigationConfig::Defaults(cpu);
     c.smt_off = true;
     configs.push_back({"defaults+nosmt", c});
@@ -355,6 +418,8 @@ std::vector<NamedConfig> MitigationConfigMatrix(const CpuModel& cpu) {
     c.l1tf_pte_inversion = true;
     c.l1d_flush_on_vmentry = true;
     c.ssbd = SsbdMode::kAlways;
+    c.stibp = true;
+    c.core_scheduling = true;
     configs.push_back({"paranoid", c});
   }
 

@@ -49,6 +49,8 @@ enum class SuiteKnob {
   kEagerFpu,
   kL1tfPteInversion,
   kSsbdAlways,
+  kStibp,
+  kCoreSched,
   kCount,
 };
 inline constexpr size_t kNumSuiteKnobs = static_cast<size_t>(SuiteKnob::kCount);
@@ -80,11 +82,11 @@ struct AttackSpec {
   uint64_t canonical_secret = 0;  // attacks.h default for trial 0
 };
 
-// The ten registered attacks, in fixed registration order (spectre-v1,
+// The eleven registered attacks, in fixed registration order (spectre-v1,
 // spectre-v2, spectre-rsb, spectre-v2-smt, meltdown, mds, mds-smt, ssb,
-// lazyfp, l1tf). To add a new attack class (e.g. Retbleed/BHI), append a
-// spec here and extend the ground-truth matrix in attack_suite_test.cc —
-// docs/attacks.md walks through it.
+// lazyfp, l1tf, smother-spectre). To add a new attack class (e.g.
+// Retbleed/BHI), append a spec here and extend the ground-truth matrix in
+// attack_suite_test.cc — docs/attacks.md walks through it.
 const std::vector<AttackSpec>& AttackSuite();
 const AttackSpec* FindAttackSpec(const std::string& name);
 
@@ -94,11 +96,13 @@ struct NamedConfig {
 };
 
 // The Table-1 style configuration axis, in fixed registration order:
-//   off, v1-only, no-v2, defaults, defaults+ssbd, defaults+nosmt,
-//   defaults+nosmt+ssbd, paranoid.
-// "defaults" is MitigationConfig::Defaults(cpu); "paranoid" forces every
-// knob on whether or not the hardware needs it (the over-protection
-// straw man the pareto report prices).
+//   off, v1-only, no-v2, defaults, defaults+ssbd, defaults+stibp,
+//   defaults+coresched, defaults+nosmt, defaults+nosmt+ssbd, paranoid.
+// "defaults" is MitigationConfig::Defaults(cpu); "defaults+stibp" and
+// "defaults+coresched" are the two cheaper-than-nosmt cross-thread
+// defenses the pareto report prices against each other; "paranoid" forces
+// every knob on whether or not the hardware needs it (the over-protection
+// straw man).
 std::vector<NamedConfig> MitigationConfigMatrix(const CpuModel& cpu);
 
 // One (cpu, config, attack) verdict.

@@ -516,6 +516,19 @@ void Kernel::ContextSwitchTo(Process& next) {
     machine_->AddCycles(cpu_.latency.ibpb, CauseTag::kSpectreV2);
     machine_->btb().FlushAll();
   }
+  // STIBP: the scheduler rewrites SPEC_CTRL on the switch path to keep the
+  // per-thread predictor partition in force — one wrmsr per switch, far
+  // cheaper than an IBPB flush and the reason the v2-SMT cell has a cheaper
+  // sufficient defense than nosmt.
+  if (config_.stibp && cpu_.smt) {
+    machine_->AddCycles(cpu_.latency.wrmsr_spec_ctrl, CauseTag::kSpectreV2);
+  }
+  // Core scheduling: cookie comparison and sibling selection in pick_next.
+  // Pure scheduler arithmetic — no MSR traffic, no predictor flush — charged
+  // to the MDS family it exists to contain (cross-thread sampling).
+  if (config_.core_scheduling && cpu_.smt) {
+    machine_->AddCycles(kCoreSchedPickCycles, CauseTag::kMds);
+  }
   current_pid_ = next.pid;
   context_switches_++;
   machine_->AddCycles(2500);  // mm switch, runqueue accounting, timers
@@ -658,6 +671,9 @@ void Kernel::Finalize() {
   machine_->SetSsbd(SsbdActiveFor(boot));
   if (config_.ibrs == IbrsMode::kEibrs) {
     machine_->SetIbrs(true);  // set once at boot; stays on (eIBRS semantics)
+  }
+  if (config_.stibp && cpu_.smt) {
+    machine_->SetStibp(true);  // partition predictor state between siblings
   }
   InstallHooks();
 

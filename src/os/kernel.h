@@ -52,6 +52,10 @@ inline constexpr uint64_t kUserMmapBase = 0x20000000;
 inline constexpr uint64_t kHostDataVaddr = 0x90000000;
 inline constexpr uint64_t kHostDataBytes = 64 * 1024;
 
+// Core-scheduling cookie comparison in pick_next_task, charged per context
+// switch when core_scheduling is on (SMT parts only).
+inline constexpr uint64_t kCoreSchedPickCycles = 120;
+
 // Per-cpu slots (offsets from kPercpuVaddr).
 inline constexpr uint64_t kPercpuKernelCr3 = 0;
 inline constexpr uint64_t kPercpuUserCr3 = 8;

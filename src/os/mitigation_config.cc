@@ -97,7 +97,9 @@ std::string MitigationConfig::Describe() const {
       << " rsb_stuff=" << (rsb_stuff_on_context_switch ? "on" : "off")
       << " v1=" << (kernel_index_masking ? "on" : "off")
       << " ssbd=" << SsbdModeName(ssbd)
-      << " l1tf=" << (l1tf_pte_inversion ? "on" : "off");
+      << " l1tf=" << (l1tf_pte_inversion ? "on" : "off")
+      << " stibp=" << (stibp ? "on" : "off")
+      << " coresched=" << (core_scheduling ? "on" : "off");
   return out.str();
 }
 
@@ -196,6 +198,24 @@ bool ApplyBootParam(MitigationConfig* config, const CpuModel& cpu, const std::st
   }
   if (token == "nosmt") {
     config->smt_off = true;
+    return true;
+  }
+  // Strict SMT co-residence tokens: only the exact spellings below are
+  // accepted ("stibp=forceon" etc. fall through to the unknown-token error).
+  if (token == "stibp" || token == "stibp=on") {
+    config->stibp = cpu.smt;  // meaningless without a sibling thread
+    return true;
+  }
+  if (token == "stibp=off") {
+    config->stibp = false;
+    return true;
+  }
+  if (token == "coresched" || token == "coresched=on") {
+    config->core_scheduling = cpu.smt;
+    return true;
+  }
+  if (token == "coresched=off") {
+    config->core_scheduling = false;
     return true;
   }
   return false;

@@ -44,6 +44,13 @@ struct MitigationConfig {
   IbrsMode ibrs = IbrsMode::kOff;
   bool ibpb_on_context_switch = false;
   bool rsb_stuff_on_context_switch = false;
+  // SMT co-residence (never default, like smt_off): STIBP partitions the
+  // indirect-predictor state between hyperthreads (a SPEC_CTRL write on the
+  // context-switch path); core scheduling refuses to co-schedule mutually
+  // distrusting processes on SMT siblings (a cookie check per switch), so a
+  // cross-thread attacker never runs co-resident with its victim.
+  bool stibp = false;
+  bool core_scheduling = false;
   // Spectre V1 (kernel side).
   bool lfence_after_swapgs = false;
   bool kernel_index_masking = false;

@@ -9,6 +9,7 @@
 #ifndef SPECTREBENCH_SRC_UARCH_FRONTEND_H_
 #define SPECTREBENCH_SRC_UARCH_FRONTEND_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,39 @@
 #include "src/uarch/predictors.h"
 
 namespace specbench {
+
+// SMT fetch-slot arbiter: decides which hardware context fetches next.
+// Strict round-robin when both contexts are runnable, otherwise the sole
+// runnable context streams — which makes one-context execution (smt off, or
+// a sibling that halted early) degenerate to the ordinary fetch loop. The
+// policy is a pure function of the runnable bits and the grant history, so
+// co-resident runs are deterministic regardless of host scheduling.
+struct FetchArbiter {
+  uint8_t next = 0;                 // context with round-robin priority
+  std::array<uint64_t, 2> slots{};  // fetch granules granted per context
+
+  // Returns the granted context (0/1), or -1 when neither is runnable.
+  int Grant(bool runnable0, bool runnable1) {
+    int pick = -1;
+    if (runnable0 && runnable1) {
+      pick = next;
+      next = static_cast<uint8_t>(1 - next);
+    } else if (runnable0) {
+      pick = 0;
+    } else if (runnable1) {
+      pick = 1;
+    }
+    if (pick >= 0) {
+      slots[static_cast<size_t>(pick)]++;
+    }
+    return pick;
+  }
+
+  void Reset() {
+    next = 0;
+    slots.fill(0);
+  }
+};
 
 struct FrontendUnit {
   explicit FrontendUnit(const PredictorPolicy& policy)
@@ -29,6 +63,8 @@ struct FrontendUnit {
   std::vector<uint64_t> call_site_stack;
   // Kernel entries since boot; drives the periodic eIBRS BTB scrub.
   uint64_t kernel_entry_counter = 0;
+  // SMT fetch-slot arbitration between the two hardware contexts.
+  FetchArbiter arbiter;
 
   void PushCallSite(uint64_t pc) {
     call_site_stack.push_back(pc);
@@ -64,6 +100,7 @@ struct FrontendUnit {
     cond.Reset();
     call_site_stack.clear();
     kernel_entry_counter = 0;
+    arbiter.Reset();
   }
 
  private:

@@ -61,6 +61,10 @@ void Machine::Reset() {
   smt_thread_id_ = 0;
   stibp_active_ = false;
   alu_fault_countdown_ = 0;
+  for (auto& hw : hw_) {
+    hw = HardwareContext{};
+  }
+  active_hw_ = -1;
 
   bus_.Clear();
   step_stall_cycles_ = 0;

@@ -41,6 +41,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/cpu/cpu_model.h"
@@ -221,6 +222,71 @@ class Machine {
   ThreadContext SaveContext() const;
   void RestoreContext(const ThreadContext& context);
 
+  // --- SMT co-residence (machine_smt.cc) -----------------------------------
+  // One explicit hardware thread on the core: the architectural context plus
+  // the statically-partitioned frontend state (RSB, call-site history) and
+  // the per-thread predictor identity (SMT thread id, STIBP). Everything
+  // else — caches, TLB, fill buffers, store buffer, the BTB (partitioned per
+  // thread only under STIBP), the conditional predictor, the issue clock and
+  // the retirement frontier — stays in the Machine and is competitively
+  // shared, which is exactly the contention cross-thread attacks exploit.
+  struct HardwareContext {
+    ThreadContext arch;
+    const Program* program = nullptr;
+    std::shared_ptr<const DecodedTrace> decoded;
+    std::vector<uint64_t> rsb;         // parked RSB partition
+    std::vector<uint64_t> call_sites;  // parked call-site history
+    uint64_t smt_thread_id = 0;
+    bool stibp = false;
+    uint64_t instructions = 0;  // retired by this context in the co-run
+    uint64_t budget = 0;        // instruction budget for the co-run
+    uint64_t finish_cycles = 0; // machine cycles() when it stopped issuing
+    bool halted = false;
+    bool runnable() const {
+      return program != nullptr && !halted && instructions < budget;
+    }
+  };
+
+  // One hardware thread's program for RunCoResident. `initial_regs` are
+  // written into the context before it first fetches (stack pointer, data
+  // pointers); everything else is inherited from the machine's state when
+  // the co-run starts.
+  struct CoResidentSpec {
+    const Program* program = nullptr;
+    uint64_t entry_vaddr = 0;
+    uint64_t max_instructions = 1'000'000;
+    uint64_t smt_thread_id = 1;
+    bool stibp = false;
+    std::vector<std::pair<uint8_t, uint64_t>> initial_regs;
+  };
+  struct CoResidentThread {
+    uint64_t instructions = 0;
+    bool halted = false;
+    uint64_t resume_rip = 0;      // vaddr to continue from when !halted
+    // The shared-core cycle count when this thread stopped issuing: the
+    // self-timing a co-resident attacker can observe (SMoTherSpectre).
+    uint64_t finish_cycles = 0;
+  };
+  struct CoResidentResult {
+    uint64_t cycles = 0;  // shared-core cycles consumed by the whole co-run
+    std::array<CoResidentThread, 2> thread{};
+  };
+  // Runs two programs in lockstep on the shared pipeline: the fetch arbiter
+  // round-robins `fetch_granule`-instruction slots between the runnable
+  // contexts; each context issues onto the shared clock (port contention)
+  // against the shared retirement frontier (scoreboard/ROB contention).
+  // Arbitration is deterministic, so co-resident runs are byte-identical
+  // across hosts and job counts. `b.program == nullptr` degenerates to
+  // single-context execution, bit-identical to RunPartial (the smt-off
+  // case; enforced by tests/uarch_smt_test.cc). Requires a loaded program
+  // (LoadProgram) so thread contexts can inherit the machine state.
+  CoResidentResult RunCoResident(const CoResidentSpec& a,
+                                 const CoResidentSpec& b,
+                                 uint64_t fetch_granule = 8);
+  // Post-co-run inspection (tests): the parked per-thread contexts.
+  const HardwareContext& hardware_context(int i) const { return hw_[i]; }
+  const FetchArbiter& fetch_arbiter() const { return frontend_.arbiter; }
+
   // Total cycle count: issue clock / completion frontier, whichever is later.
   uint64_t cycles() const;
   uint64_t PmcValue(Pmc counter) const;
@@ -302,6 +368,13 @@ class Machine {
   uint64_t SpeculativeLoad(uint64_t vaddr, uint64_t at,
                            const std::map<uint64_t, uint64_t>& spec_stores, bool* completed);
 
+  // SMT co-residence internals (machine_smt.cc): park the active context's
+  // architectural + partitioned-frontend state into hw_[i], or make hw_[i]
+  // the fetching context (swap program/decode, arch state, RSB partition,
+  // thread identity; recompile the mitigation policy).
+  void ParkHardwareContext(int i);
+  void ActivateHardwareContext(int i);
+
   const CpuModel cpu_;
   const Program* program_ = nullptr;
   // Shared decode of `program_` from the global TraceCache (set by
@@ -340,6 +413,11 @@ class Machine {
   uint64_t smt_thread_id_ = 0;
   bool stibp_active_ = false;
   uint64_t alu_fault_countdown_ = 0;
+
+  // SMT hardware contexts (machine_smt.cc). Only populated during / after a
+  // RunCoResident call; single-context execution never touches them.
+  std::array<HardwareContext, 2> hw_{};
+  int active_hw_ = -1;
 
   // Compiled mitigation policy; the only place mitigation state is branched
   // on during execution.

@@ -28,11 +28,12 @@ SuiteResult RunDefaultSuite(int jobs) {
   return RunSuite(options);
 }
 
-TEST(AttackSuiteRegistry, TenSpecsInFixedOrder) {
+TEST(AttackSuiteRegistry, ElevenSpecsInFixedOrder) {
   const std::vector<AttackSpec>& suite = AttackSuite();
   const std::vector<std::string> expected = {
-      "spectre-v1", "spectre-v2", "spectre-rsb", "spectre-v2-smt", "meltdown",
-      "mds",        "mds-smt",    "ssb",         "lazyfp",         "l1tf",
+      "spectre-v1", "spectre-v2", "spectre-rsb", "spectre-v2-smt",
+      "meltdown",   "mds",        "mds-smt",     "ssb",
+      "lazyfp",     "l1tf",       "smother-spectre",
   };
   ASSERT_EQ(suite.size(), expected.size());
   for (size_t i = 0; i < suite.size(); i++) {
@@ -49,9 +50,10 @@ TEST(AttackSuiteRegistry, ConfigMatrixHasTheTable1Axis) {
   const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
   const std::vector<NamedConfig> matrix = MitigationConfigMatrix(cpu);
   const std::vector<std::string> expected = {
-      "off",           "v1-only",        "no-v2",
-      "defaults",      "defaults+ssbd",  "defaults+nosmt",
-      "defaults+nosmt+ssbd", "paranoid",
+      "off",            "v1-only",            "no-v2",
+      "defaults",       "defaults+ssbd",      "defaults+stibp",
+      "defaults+coresched", "defaults+nosmt", "defaults+nosmt+ssbd",
+      "paranoid",
   };
   ASSERT_EQ(matrix.size(), expected.size());
   for (size_t i = 0; i < matrix.size(); i++) {
@@ -73,7 +75,7 @@ TEST(AttackSuiteRegistry, ConfigMatrixHasTheTable1Axis) {
 TEST(AttackSuiteMatrix, ClaimsMatchEmpiricalVerdictsEverywhere) {
   const SuiteResult result = RunDefaultSuite(/*jobs=*/0);
   ASSERT_EQ(result.cells.size(),
-            AllUarches().size() * 8 /*configs*/ * AttackSuite().size());
+            AllUarches().size() * 10 /*configs*/ * AttackSuite().size());
   int attempted_cells = 0;
   int empty_cells = 0;
   for (const SuiteCell& cell : result.cells) {
@@ -106,9 +108,14 @@ TEST(AttackSuiteMatrix, InvulnerableHardwareIsNotAttempted) {
   EXPECT_FALSE(result.Find("Zen 3", "off", "spectre-v2")->attempted);
   EXPECT_FALSE(result.Find("Zen 3", "off", "spectre-v2-smt")->attempted);
   EXPECT_TRUE(result.Find("Zen 3", "off", "spectre-rsb")->attempted);
-  // Zen 1 has no SMT sibling to attack from.
+  // Zen 1 has no SMT sibling to attack from — not even for port contention.
   EXPECT_FALSE(result.Find("Zen", "off", "spectre-v2-smt")->attempted);
   EXPECT_FALSE(result.Find("Zen", "off", "mds-smt")->attempted);
+  EXPECT_FALSE(result.Find("Zen", "off", "smother-spectre")->attempted);
+  // Silicon fixes for the transient leaks do not close the port-contention
+  // channel: every SMT part attempts smother-spectre.
+  EXPECT_TRUE(result.Find("Zen 3", "off", "smother-spectre")->attempted);
+  EXPECT_TRUE(result.Find("Ice Lake Server", "off", "smother-spectre")->attempted);
   // AMD parts are not vulnerable to Meltdown / MDS / L1TF.
   for (const char* cpu : {"Zen", "Zen 2", "Zen 3"}) {
     EXPECT_FALSE(result.Find(cpu, "off", "meltdown")->attempted) << cpu;
@@ -118,6 +125,36 @@ TEST(AttackSuiteMatrix, InvulnerableHardwareIsNotAttempted) {
   // Broadwell (pre-MDS-fix Intel) attempts everything.
   for (const AttackSpec& spec : AttackSuite()) {
     EXPECT_TRUE(result.Find("Broadwell", "off", spec.name)->attempted) << spec.name;
+  }
+}
+
+TEST(AttackSuiteMatrix, CrossThreadDefenseLadder) {
+  // The SMT co-residence story the pareto frontier prices, pinned on a
+  // vulnerable SMT part (Skylake):
+  //   - stibp closes cross-thread V2 but neither MDS sampling nor port
+  //     contention;
+  //   - coresched and nosmt close all three (MDS-smt also needs verw,
+  //     which defaults provide on MDS-vulnerable parts).
+  const SuiteResult result = RunDefaultSuite(/*jobs=*/0);
+  const auto cell = [&](const char* config, const char* attack) {
+    const SuiteCell* c = result.Find("Skylake Client", config, attack);
+    EXPECT_NE(c, nullptr) << config << "/" << attack;
+    return c;
+  };
+  // defaults: SMT on, all three cross-thread channels open.
+  EXPECT_TRUE(cell("defaults", "spectre-v2-smt")->leaked());
+  EXPECT_TRUE(cell("defaults", "mds-smt")->leaked());
+  EXPECT_TRUE(cell("defaults", "smother-spectre")->leaked());
+  // defaults+stibp: predictor partitioned, fill buffers and ports still
+  // shared.
+  EXPECT_FALSE(cell("defaults+stibp", "spectre-v2-smt")->leaked());
+  EXPECT_TRUE(cell("defaults+stibp", "mds-smt")->leaked());
+  EXPECT_TRUE(cell("defaults+stibp", "smother-spectre")->leaked());
+  // defaults+coresched / defaults+nosmt: no co-residence, nothing leaks.
+  for (const char* config : {"defaults+coresched", "defaults+nosmt"}) {
+    EXPECT_FALSE(cell(config, "spectre-v2-smt")->leaked()) << config;
+    EXPECT_FALSE(cell(config, "mds-smt")->leaked()) << config;
+    EXPECT_FALSE(cell(config, "smother-spectre")->leaked()) << config;
   }
 }
 
@@ -210,6 +247,8 @@ MitigationConfig WithKnobEnabled(const MitigationConfig& config, SuiteKnob knob)
     case SuiteKnob::kEagerFpu: c.eager_fpu = true; break;
     case SuiteKnob::kL1tfPteInversion: c.l1tf_pte_inversion = true; break;
     case SuiteKnob::kSsbdAlways: c.ssbd = SsbdMode::kAlways; break;
+    case SuiteKnob::kStibp: c.stibp = true; break;
+    case SuiteKnob::kCoreSched: c.core_scheduling = true; break;
     case SuiteKnob::kCount: break;
   }
   return c;

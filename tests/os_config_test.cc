@@ -139,7 +139,7 @@ TEST(Describe, ListsEveryKnobOnEveryTable1DefaultSet) {
   for (Uarch u : AllUarches()) {
     const std::string s = MitigationConfig::Defaults(GetCpuModel(u)).Describe();
     for (const char* key : {"pti=", "mds=", "retpoline=", "ibrs=", "ibpb=", "rsb_stuff=",
-                            "v1=", "ssbd=", "l1tf="}) {
+                            "v1=", "ssbd=", "l1tf=", "stibp=", "coresched="}) {
       EXPECT_NE(s.find(key), std::string::npos) << UarchName(u) << ": " << s;
     }
     EXPECT_NE(s, all_off) << UarchName(u);
@@ -159,12 +159,57 @@ TEST(Describe, RoundTripsThroughConfigFromCmdline) {
     // So does any disable token followed by mitigations=auto.
     for (const char* token :
          {"nopti", "nopcid", "mds=off", "nospectre_v1", "nospectre_v2",
-          "spec_store_bypass_disable=off", "l1tf=off", "eagerfpu=off", "nosmt"}) {
+          "spec_store_bypass_disable=off", "l1tf=off", "eagerfpu=off", "nosmt",
+          "stibp", "coresched"}) {
       EXPECT_EQ(ConfigFromCmdline(cpu, {token, "mitigations=auto"}).Describe(), defaults)
           << UarchName(u) << " via " << token;
     }
     // Unknown tokens are skipped without disturbing the rest of the cmdline.
     EXPECT_EQ(ConfigFromCmdline(cpu, {"bogus=thing"}).Describe(), defaults) << UarchName(u);
+  }
+}
+
+TEST(BootParams, StibpAndCoreSchedTokens) {
+  // SMT part: the tokens take effect and round-trip through Describe().
+  const CpuModel& smt = GetCpuModel(Uarch::kSkylakeClient);
+  ASSERT_TRUE(smt.smt);
+  MitigationConfig c = MitigationConfig::Defaults(smt);
+  EXPECT_FALSE(c.stibp);
+  EXPECT_FALSE(c.core_scheduling);
+  EXPECT_TRUE(ApplyBootParam(&c, smt, "stibp"));
+  EXPECT_TRUE(c.stibp);
+  EXPECT_TRUE(ApplyBootParam(&c, smt, "stibp=off"));
+  EXPECT_FALSE(c.stibp);
+  EXPECT_TRUE(ApplyBootParam(&c, smt, "coresched=on"));
+  EXPECT_TRUE(c.core_scheduling);
+  EXPECT_TRUE(ApplyBootParam(&c, smt, "coresched=off"));
+  EXPECT_FALSE(c.core_scheduling);
+
+  const std::string on = ConfigFromCmdline(smt, {"stibp", "coresched"}).Describe();
+  EXPECT_NE(on.find("stibp=on"), std::string::npos) << on;
+  EXPECT_NE(on.find("coresched=on"), std::string::npos) << on;
+
+  // Non-SMT part (Zen1): no sibling thread, the "on" spellings are accepted
+  // but stay off — there is nothing to partition or co-schedule.
+  const CpuModel& no_smt = GetCpuModel(Uarch::kZen1);
+  ASSERT_FALSE(no_smt.smt);
+  MitigationConfig z = MitigationConfig::Defaults(no_smt);
+  EXPECT_TRUE(ApplyBootParam(&z, no_smt, "stibp=on"));
+  EXPECT_FALSE(z.stibp);
+  EXPECT_TRUE(ApplyBootParam(&z, no_smt, "coresched"));
+  EXPECT_FALSE(z.core_scheduling);
+}
+
+TEST(BootParams, StibpAndCoreSchedRejectUnknownSpellings) {
+  // Strict tokens: anything but the exact spellings is the unknown-token
+  // error and leaves the config untouched.
+  const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
+  MitigationConfig c = MitigationConfig::Defaults(cpu);
+  for (const char* bad : {"stibp=forceon", "stibp=auto", "stibp=1", "nostibp",
+                          "coresched=forceon", "coresched=cookie", "core_scheduling"}) {
+    EXPECT_FALSE(ApplyBootParam(&c, cpu, bad)) << bad;
+    EXPECT_FALSE(c.stibp) << bad;
+    EXPECT_FALSE(c.core_scheduling) << bad;
   }
 }
 

@@ -77,6 +77,80 @@ Observation RunOnce(Machine& m, const Program& program) {
   return obs;
 }
 
+// Co-resident analogue of RunOnce: two generator programs share the
+// pipeline via RunCoResident. The observation covers the shared clock, the
+// interleaved commit trace, both parked hardware threads (registers,
+// instructions, finish cycles) and memory — everything a sweep cell can
+// see of a co-run.
+struct CoObservation {
+  uint64_t cycles = 0;
+  uint64_t trace_hash = kArchHashBasis;
+  std::array<uint64_t, 2> instructions{};
+  std::array<uint64_t, 2> finish_cycles{};
+  std::array<bool, 2> halted{};
+  std::array<std::array<uint64_t, kNumRegs>, 2> regs{};
+  uint64_t memory_digest = 0;
+
+  bool operator==(const CoObservation& o) const {
+    return cycles == o.cycles && trace_hash == o.trace_hash && instructions == o.instructions &&
+           finish_cycles == o.finish_cycles && halted == o.halted && regs == o.regs &&
+           memory_digest == o.memory_digest;
+  }
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "cycles=" << cycles << " trace_hash=" << trace_hash
+        << " memory_digest=" << memory_digest;
+    for (int i = 0; i < 2; i++) {
+      out << " thread" << i << "={instructions=" << instructions[i]
+          << " finish=" << finish_cycles[i] << " halted=" << halted[i] << "}";
+    }
+    return out.str();
+  }
+};
+
+// Generator options for co-resident pairs: generated programs hard-code one
+// stack base, and co-resident threads share memory, so two of them running
+// architectural call/ret frames would clobber each other's return
+// addresses. Leaf functions off keeps the pair stack-free; everything else
+// (shared data/alias windows, indirect jumps, loops, fences) still contends.
+GeneratorOptions CallFree() {
+  GeneratorOptions options;
+  options.functions = 0;
+  return options;
+}
+
+CoObservation CoRunOnce(Machine& m, const Program& a, const Program& b) {
+  CoObservation obs;
+  m.LoadProgram(&a);
+  m.SetTraceHook([&obs](const Machine::TraceRecord& record) {
+    obs.trace_hash = FoldTraceHash(obs.trace_hash, record.index, record.op);
+  });
+  Machine::CoResidentSpec spec_a;
+  spec_a.program = &a;
+  spec_a.entry_vaddr = a.base_vaddr();
+  spec_a.max_instructions = 200'000;
+  spec_a.smt_thread_id = 0;
+  Machine::CoResidentSpec spec_b;
+  spec_b.program = &b;
+  spec_b.entry_vaddr = b.base_vaddr();
+  spec_b.max_instructions = 200'000;
+  spec_b.smt_thread_id = 1;
+  const Machine::CoResidentResult run = m.RunCoResident(spec_a, spec_b);
+  m.DrainPipeline();
+  m.DrainStoreBuffer();
+  obs.cycles = run.cycles;
+  for (int i = 0; i < 2; i++) {
+    obs.instructions[i] = run.thread[i].instructions;
+    obs.finish_cycles[i] = run.thread[i].finish_cycles;
+    obs.halted[i] = run.thread[i].halted;
+    obs.regs[i] = m.hardware_context(i).arch.regs;
+  }
+  obs.memory_digest = DigestMemoryWords(m.physical_memory().SortedNonZeroWords());
+  m.SetTraceHook(nullptr);
+  return obs;
+}
+
 // The core contract, on the fuzz generator's program distribution: running
 // seed B on a machine that already ran seed A, with a Reset in between, is
 // indistinguishable — cycles and PMCs included — from running seed B on a
@@ -132,6 +206,76 @@ TEST(MachineReset, ClearsPendingInjectedFault) {
   dirty.Reset();
   const Observation got = RunOnce(dirty, program);
   EXPECT_TRUE(got == want) << "pending fault leaked across Reset";
+}
+
+// Reset must restore *both* hardware threads: a dual-context co-run on a
+// machine that already ran a different co-resident pair — parked RSB
+// partitions, call-site history, per-thread predictor identity and all —
+// is bit-identical to the same co-run on a fresh machine.
+TEST(MachineReset, CoResidentRunAfterResetIsIdenticalToFreshMachine) {
+  for (Uarch u : {Uarch::kSkylakeClient, Uarch::kZen3}) {
+    const CpuModel& cpu = GetCpuModel(u);
+    Machine reused(cpu);
+    for (uint64_t seed = 0; seed < 6; seed++) {
+      const Program a = GenerateProgram(seed * 2 + 100, CallFree());
+      const Program b = GenerateProgram(seed * 2 + 101, CallFree());
+      Machine fresh(cpu);
+      const CoObservation want = CoRunOnce(fresh, a, b);
+      reused.Reset();
+      const CoObservation got = CoRunOnce(reused, a, b);
+      EXPECT_TRUE(got == want) << "uarch=" << UarchName(u) << " seed=" << seed << "\n  fresh:  "
+                               << want.ToString() << "\n  reused: " << got.ToString();
+    }
+  }
+}
+
+// Cross-mode pollution: a co-resident run must leave nothing behind that a
+// Reset does not clear — the next single-context run on the reused machine
+// matches a fresh machine exactly, and the parked contexts are power-on.
+TEST(MachineReset, SingleContextRunAfterCoResidentRunAndResetIsClean) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kCascadeLake);
+  const Program solo = GenerateProgram(42, GeneratorOptions{});
+  const Program a = GenerateProgram(43, CallFree());
+  const Program b = GenerateProgram(44, CallFree());
+
+  Machine fresh(cpu);
+  const Observation want = RunOnce(fresh, solo);
+
+  Machine dirty(cpu);
+  (void)CoRunOnce(dirty, a, b);
+  dirty.Reset();
+  for (int i = 0; i < 2; i++) {
+    EXPECT_EQ(dirty.hardware_context(i).program, nullptr) << "thread " << i;
+    EXPECT_EQ(dirty.hardware_context(i).instructions, 0u) << "thread " << i;
+    EXPECT_EQ(dirty.hardware_context(i).finish_cycles, 0u) << "thread " << i;
+  }
+  const Observation got = RunOnce(dirty, solo);
+  EXPECT_TRUE(got == want) << "\n  fresh: " << want.ToString() << "\n  reset: " << got.ToString();
+}
+
+// MachinePool reuse across co-resident sweep cells: acquiring the pooled
+// machine for a second co-run is indistinguishable from giving each cell
+// its own fresh machine.
+TEST(MachinePool, ReuseAcrossCoResidentCellsEqualsTwoFreshMachines) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
+  const Program a1 = GenerateProgram(50, CallFree());
+  const Program b1 = GenerateProgram(51, CallFree());
+  const Program a2 = GenerateProgram(52, CallFree());
+  const Program b2 = GenerateProgram(53, CallFree());
+
+  Machine fresh1(cpu);
+  const CoObservation want1 = CoRunOnce(fresh1, a1, b1);
+  Machine fresh2(cpu);
+  const CoObservation want2 = CoRunOnce(fresh2, a2, b2);
+
+  MachinePool pool;
+  const CoObservation got1 = CoRunOnce(pool.Acquire(cpu), a1, b1);
+  const CoObservation got2 = CoRunOnce(pool.Acquire(cpu), a2, b2);
+  EXPECT_EQ(pool.size(), 1u);  // one machine served both cells
+  EXPECT_TRUE(got1 == want1) << "\n  fresh:  " << want1.ToString()
+                             << "\n  pooled: " << got1.ToString();
+  EXPECT_TRUE(got2 == want2) << "\n  fresh:  " << want2.ToString()
+                             << "\n  pooled: " << got2.ToString();
 }
 
 TEST(MachinePool, ReusesOneMachinePerCpuModel) {

@@ -1,0 +1,377 @@
+// SMT co-residence tests: Machine::RunCoResident's determinism contract,
+// the degenerate one-context case (bit-identical to RunPartial — what makes
+// the dual-context refactor provable rather than a rewrite), fetch-slot
+// arbitration fairness, static partitioning of the RSB/call-site history,
+// STIBP's per-thread BTB partitioning, and the shared-pipeline throughput
+// envelope the PARSEC nosmt charge is derived from.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/cpu/cpu_model.h"
+#include "src/difftest/reference.h"
+#include "src/isa/program.h"
+#include "src/uarch/frontend.h"
+#include "src/uarch/machine.h"
+#include "src/uarch/machine_pool.h"
+
+namespace specbench {
+namespace {
+
+// A mixed single-thread workload: dependency chains, memory traffic,
+// conditional branches, a call/ret pair — enough to exercise every pipeline
+// component in the degenerate-equivalence check.
+Program MixedProgram() {
+  ProgramBuilder b;
+  b.BindSymbol("entry");
+  b.MovImm(1, 1000);
+  b.MovImm(2, 0x9000);
+  b.MovImm(3, 12);
+  Label loop = b.NewLabel();
+  b.Bind(loop);
+  b.Store(MemRef{2, kNoReg, 1, 0}, 1);
+  b.Load(4, MemRef{2, kNoReg, 1, 0});
+  b.Alu(AluOp::kAdd, 1, 1, 4);
+  b.DivImm(5, 1, 7);
+  b.AluImm(AluOp::kAdd, 2, 2, 64);
+  b.AluImm(AluOp::kSub, 3, 3, 1);
+  b.BranchNz(3, loop);
+  Label fn = b.NewLabel();
+  b.Call(fn);
+  b.Halt();
+  b.Bind(fn);
+  b.AluImm(AluOp::kXor, 6, 1, 0x55);
+  b.Ret();
+  return b.Build();
+}
+
+// An unrolled dependent-divide chain: latency-bound, so two siblings overlap
+// almost perfectly (each chain waits on its own registers, not the issue
+// clock).
+Program DivChainProgram(int divs) {
+  ProgramBuilder b;
+  b.BindSymbol("entry");
+  b.MovImm(1, 1'000'000'000);
+  for (int i = 0; i < divs; i++) {
+    b.DivImm(1, 1, 1);
+  }
+  b.Halt();
+  return b.Build();
+}
+
+// A pure issue-bound ALU stream: no latency to hide, so two siblings halve
+// each other's throughput (the shared-port contention bound).
+Program AluStreamProgram(int ops) {
+  ProgramBuilder b;
+  b.BindSymbol("entry");
+  b.MovImm(1, 1);
+  for (int i = 0; i < ops; i++) {
+    b.AluImm(AluOp::kAdd, static_cast<uint8_t>(1 + (i % 4)), 1, 3);
+  }
+  b.Halt();
+  return b.Build();
+}
+
+struct Observation {
+  std::array<uint64_t, kNumRegs> regs{};
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t trace_hash = kArchHashBasis;
+  uint64_t memory_digest = 0;
+  std::array<uint64_t, static_cast<size_t>(Pmc::kCount)> pmcs{};
+};
+
+Observation Observe(Machine& m, uint64_t trace_hash) {
+  Observation obs;
+  m.DrainPipeline();
+  for (uint8_t r = 0; r < kNumRegs; r++) {
+    obs.regs[r] = m.reg(r);
+  }
+  obs.cycles = m.cycles();
+  obs.instructions = m.PmcValue(Pmc::kInstructions);
+  obs.trace_hash = trace_hash;
+  obs.memory_digest = DigestMemoryWords(m.physical_memory().SortedNonZeroWords());
+  for (size_t p = 0; p < obs.pmcs.size(); p++) {
+    obs.pmcs[p] = m.PmcValue(static_cast<Pmc>(p));
+  }
+  return obs;
+}
+
+TEST(RunCoResident, OneContextIsBitIdenticalToRunPartial) {
+  const Program program = MixedProgram();
+  for (Uarch uarch : {Uarch::kBroadwell, Uarch::kSkylakeClient, Uarch::kZen3}) {
+    const CpuModel& cpu = GetCpuModel(uarch);
+
+    Machine solo(cpu);
+    solo.LoadProgram(&program);
+    solo.SetReg(kRegSp, 0x20000);
+    uint64_t solo_hash = kArchHashBasis;
+    solo.SetTraceHook([&](const Machine::TraceRecord& r) {
+      solo_hash = FoldTraceHash(solo_hash, r.index, r.op);
+    });
+    const Machine::RunResult solo_result =
+        solo.RunPartial(program.SymbolVaddr("entry"), 1'000'000);
+
+    Machine co(cpu);
+    co.LoadProgram(&program);
+    co.SetReg(kRegSp, 0x20000);
+    uint64_t co_hash = kArchHashBasis;
+    co.SetTraceHook([&](const Machine::TraceRecord& r) {
+      co_hash = FoldTraceHash(co_hash, r.index, r.op);
+    });
+    Machine::CoResidentSpec spec;
+    spec.program = &program;
+    spec.entry_vaddr = program.SymbolVaddr("entry");
+    spec.max_instructions = 1'000'000;
+    spec.smt_thread_id = 0;
+    const Machine::CoResidentResult co_result =
+        co.RunCoResident(spec, Machine::CoResidentSpec{});
+
+    EXPECT_TRUE(solo_result.halted);
+    EXPECT_TRUE(co_result.thread[0].halted);
+    EXPECT_EQ(co_result.cycles, solo_result.cycles) << UarchName(uarch);
+    EXPECT_EQ(co_result.thread[0].instructions, solo_result.instructions);
+    EXPECT_EQ(co_result.thread[1].instructions, 0u);
+
+    const Observation a = Observe(solo, solo_hash);
+    const Observation c = Observe(co, co_hash);
+    EXPECT_EQ(a.regs, c.regs) << UarchName(uarch);
+    EXPECT_EQ(a.cycles, c.cycles);
+    EXPECT_EQ(a.instructions, c.instructions);
+    EXPECT_EQ(a.trace_hash, c.trace_hash);
+    EXPECT_EQ(a.memory_digest, c.memory_digest);
+    EXPECT_EQ(a.pmcs, c.pmcs);
+  }
+}
+
+TEST(RunCoResident, RepeatedCoRunsAreIdentical) {
+  const Program program = MixedProgram();
+  const CpuModel& cpu = GetCpuModel(Uarch::kSkylakeClient);
+
+  auto run = [&](Machine& m) {
+    m.LoadProgram(&program);
+    Machine::CoResidentSpec a;
+    a.program = &program;
+    a.entry_vaddr = program.SymbolVaddr("entry");
+    a.smt_thread_id = 1;
+    a.initial_regs = {{kRegSp, 0x20000}};
+    Machine::CoResidentSpec b = a;
+    b.smt_thread_id = 2;
+    b.initial_regs = {{kRegSp, 0x30000}, {2, 0x50000}};
+    return m.RunCoResident(a, b);
+  };
+
+  Machine m1(cpu);
+  Machine m2(cpu);
+  const Machine::CoResidentResult r1 = run(m1);
+  const Machine::CoResidentResult r2 = run(m2);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  for (int t = 0; t < 2; t++) {
+    EXPECT_EQ(r1.thread[t].instructions, r2.thread[t].instructions);
+    EXPECT_EQ(r1.thread[t].halted, r2.thread[t].halted);
+  }
+
+  // Reset + re-run on the same machine matches a fresh machine too (the
+  // MachinePool contract for co-resident sweep cells).
+  m1.Reset();
+  const Machine::CoResidentResult r3 = run(m1);
+  EXPECT_EQ(r3.cycles, r1.cycles);
+  EXPECT_EQ(r3.thread[0].instructions, r1.thread[0].instructions);
+  EXPECT_EQ(r3.thread[1].instructions, r1.thread[1].instructions);
+}
+
+TEST(RunCoResident, ArbitrationIsFairWhileBothContextsRun) {
+  const Program program = DivChainProgram(64);
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  Machine m(cpu);
+  m.LoadProgram(&program);
+
+  Machine::CoResidentSpec a;
+  a.program = &program;
+  a.entry_vaddr = program.SymbolVaddr("entry");
+  a.smt_thread_id = 1;
+  Machine::CoResidentSpec b = a;
+  b.smt_thread_id = 2;
+  m.RunCoResident(a, b);
+
+  // Identical budgets and programs: round-robin grants differ by at most one
+  // granule.
+  const FetchArbiter& arbiter = m.fetch_arbiter();
+  const uint64_t s0 = arbiter.slots[0];
+  const uint64_t s1 = arbiter.slots[1];
+  EXPECT_GT(s0, 0u);
+  EXPECT_GT(s1, 0u);
+  EXPECT_LE(s0 > s1 ? s0 - s1 : s1 - s0, 1u);
+}
+
+TEST(RunCoResident, RsbAndCallSitesAreStaticallyPartitioned) {
+  // Thread 0 climbs three calls deep and halts there; thread 1 never calls.
+  ProgramBuilder b;
+  b.BindSymbol("deep");
+  Label f1 = b.NewLabel();
+  Label f2 = b.NewLabel();
+  Label f3 = b.NewLabel();
+  b.Call(f1);
+  b.Halt();
+  b.Bind(f1);
+  b.Call(f2);
+  b.Ret();
+  b.Bind(f2);
+  b.Call(f3);
+  b.Ret();
+  b.Bind(f3);
+  b.Halt();
+  b.BindSymbol("flat");
+  b.MovImm(1, 7);
+  b.Halt();
+  const Program program = b.Build();
+
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  Machine m(cpu);
+  m.LoadProgram(&program);
+
+  Machine::CoResidentSpec deep;
+  deep.program = &program;
+  deep.entry_vaddr = program.SymbolVaddr("deep");
+  deep.smt_thread_id = 1;
+  deep.initial_regs = {{kRegSp, 0x20000}};
+  Machine::CoResidentSpec flat;
+  flat.program = &program;
+  flat.entry_vaddr = program.SymbolVaddr("flat");
+  flat.smt_thread_id = 2;
+  flat.initial_regs = {{kRegSp, 0x30000}};
+  const Machine::CoResidentResult result = m.RunCoResident(deep, flat);
+
+  EXPECT_TRUE(result.thread[0].halted);
+  EXPECT_TRUE(result.thread[1].halted);
+  // Thread 0 parked with three unreturned calls on its RSB partition and
+  // call-site history; thread 1's partition never saw them.
+  EXPECT_EQ(m.hardware_context(0).rsb.size(), 3u);
+  EXPECT_EQ(m.hardware_context(0).call_sites.size(), 3u);
+  EXPECT_EQ(m.hardware_context(1).rsb.size(), 0u);
+  EXPECT_EQ(m.hardware_context(1).call_sites.size(), 0u);
+}
+
+TEST(RunCoResident, StibpPartitionsBtbTrainingBetweenThreads) {
+  // Both threads execute the *same* indirect-call site, steered at two
+  // different gadgets through a per-thread register.
+  ProgramBuilder b;
+  b.BindSymbol("entry");
+  b.IndirectCall(2);
+  b.Halt();
+  b.BindSymbol("gadget_a");
+  b.Ret();
+  b.BindSymbol("gadget_b");
+  b.Ret();
+  const Program program = b.Build();
+  const uint64_t call_pc = program.SymbolVaddr("entry");
+  const uint64_t gadget_a = program.SymbolVaddr("gadget_a");
+  const uint64_t gadget_b = program.SymbolVaddr("gadget_b");
+  const uint64_t context = FrontendUnit::ContextHash({});
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+
+  auto specs = [&](bool stibp) {
+    Machine::CoResidentSpec a;
+    a.program = &program;
+    a.entry_vaddr = program.SymbolVaddr("entry");
+    a.smt_thread_id = 1;
+    a.stibp = stibp;
+    a.initial_regs = {{kRegSp, 0x20000}, {2, gadget_a}};
+    Machine::CoResidentSpec c = a;
+    c.smt_thread_id = 2;
+    c.initial_regs = {{kRegSp, 0x30000}, {2, gadget_b}};
+    return std::make_pair(a, c);
+  };
+
+  {
+    Machine m(cpu);
+    m.LoadProgram(&program);
+    auto [a, c] = specs(/*stibp=*/true);
+    m.RunCoResident(a, c);
+    // Each thread trained its own partition; the shared (tag 0) view is
+    // empty, and neither thread sees the other's target.
+    EXPECT_FALSE(m.btb().Predict(call_pc, Mode::kUser, context, 0).hit);
+    const Btb::Prediction p1 = m.btb().Predict(call_pc, Mode::kUser, context, 1);
+    const Btb::Prediction p2 = m.btb().Predict(call_pc, Mode::kUser, context, 2);
+    ASSERT_TRUE(p1.hit);
+    ASSERT_TRUE(p2.hit);
+    EXPECT_EQ(p1.target, gadget_a);
+    EXPECT_EQ(p2.target, gadget_b);
+  }
+  {
+    Machine m(cpu);
+    m.LoadProgram(&program);
+    auto [a, c] = specs(/*stibp=*/false);
+    m.RunCoResident(a, c);
+    // Without STIBP the entry is shared: one slot, last trainer wins —
+    // which is exactly the cross-thread poisoning surface.
+    const Btb::Prediction shared = m.btb().Predict(call_pc, Mode::kUser, context, 0);
+    ASSERT_TRUE(shared.hit);
+    EXPECT_EQ(shared.target, gadget_b);
+  }
+}
+
+TEST(RunCoResident, LatencyBoundSiblingsOverlapIssueBoundSiblingsContend) {
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+
+  auto solo_cycles = [&](const Program& p) {
+    Machine m(cpu);
+    m.LoadProgram(&p);
+    return m.Run(p.SymbolVaddr("entry"), 1'000'000).cycles;
+  };
+  auto co_cycles = [&](const Program& p) {
+    Machine m(cpu);
+    m.LoadProgram(&p);
+    Machine::CoResidentSpec a;
+    a.program = &p;
+    a.entry_vaddr = p.SymbolVaddr("entry");
+    a.smt_thread_id = 1;
+    Machine::CoResidentSpec b = a;
+    b.smt_thread_id = 2;
+    return m.RunCoResident(a, b).cycles;
+  };
+
+  // Latency-bound: the two divide chains overlap, so the co-run costs far
+  // less than running the two programs back to back.
+  const Program chain = DivChainProgram(200);
+  const uint64_t chain_solo = solo_cycles(chain);
+  const uint64_t chain_co = co_cycles(chain);
+  EXPECT_GE(chain_co, chain_solo);
+  EXPECT_LT(chain_co, chain_solo + chain_solo / 2);
+
+  // Issue-bound: the siblings compete for the single issue port, so the
+  // co-run approaches the serial sum.
+  const Program stream = AluStreamProgram(400);
+  const uint64_t stream_solo = solo_cycles(stream);
+  const uint64_t stream_co = co_cycles(stream);
+  EXPECT_GE(stream_co, stream_solo + (stream_solo * 4) / 5);
+  EXPECT_LE(stream_co, 2 * stream_solo + 64);
+}
+
+TEST(RunCoResident, ResetClearsHardwareContexts) {
+  const Program program = MixedProgram();
+  const CpuModel& cpu = GetCpuModel(Uarch::kBroadwell);
+  Machine m(cpu);
+  m.LoadProgram(&program);
+  Machine::CoResidentSpec a;
+  a.program = &program;
+  a.entry_vaddr = program.SymbolVaddr("entry");
+  a.initial_regs = {{kRegSp, 0x20000}};
+  Machine::CoResidentSpec b = a;
+  b.smt_thread_id = 2;
+  b.initial_regs = {{kRegSp, 0x30000}};
+  m.RunCoResident(a, b);
+  ASSERT_NE(m.hardware_context(0).program, nullptr);
+
+  m.Reset();
+  EXPECT_EQ(m.hardware_context(0).program, nullptr);
+  EXPECT_EQ(m.hardware_context(1).program, nullptr);
+  EXPECT_EQ(m.hardware_context(0).rsb.size(), 0u);
+  EXPECT_EQ(m.fetch_arbiter().slots[0], 0u);
+  EXPECT_EQ(m.fetch_arbiter().slots[1], 0u);
+}
+
+}  // namespace
+}  // namespace specbench
